@@ -1,0 +1,592 @@
+(* Evaluation harness: regenerates every table and figure from the paper's
+   evaluation section (see DESIGN.md's experiment index), plus Bechamel
+   micro-benchmarks of the substrate components.
+
+     dune exec bench/main.exe                 -- everything (quick scale)
+     dune exec bench/main.exe -- table3       -- one artifact
+     dune exec bench/main.exe -- table3 --full -- paper-style 5-trial run
+
+   Absolute numbers differ from the paper (our substrate is an in-process
+   simulator, not Synopsys VCS on their testbed); the comparisons of record
+   are the qualitative ones: who repairs what, category balance, fitness
+   trajectories, oracle sensitivity. *)
+
+let quick = ref true
+let line = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: repair templates                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: repair templates (applied to the counter design)";
+  let m =
+    match Verilog.Parser.parse_design_result (Corpus.read "counter.v") with
+    | Ok [ m ] -> m
+    | _ -> failwith "parse counter"
+  in
+  Printf.printf "%-28s %-18s %s\n" "Template" "Defect category" "eligible targets / applies";
+  List.iter
+    (fun tpl ->
+      let targets = Cirfix.Templates.eligible_targets tpl m in
+      let applied =
+        List.exists
+          (fun target ->
+            Cirfix.Templates.apply tpl ~signal:"clk" m ~target <> None
+            || Cirfix.Templates.apply tpl m ~target <> None)
+          targets
+      in
+      Printf.printf "%-28s %-18s %d targets%s\n"
+        (Cirfix.Templates.to_string tpl)
+        (Cirfix.Templates.defect_category tpl)
+        (List.length targets)
+        (if targets = [] then " (none in this design)"
+         else if applied then ", applies"
+         else ", does not apply"))
+    Cirfix.Templates.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: benchmark projects                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: benchmark hardware projects";
+  Printf.printf "%-22s %-42s %8s %10s\n" "Project" "Description" "LOC" "TB LOC";
+  let tp, tt =
+    List.fold_left
+      (fun (tp, tt) (p : Bench_suite.Projects.t) ->
+        let dl = Bench_suite.Projects.design_loc p in
+        let tl = Bench_suite.Projects.tb_loc p in
+        Printf.printf "%-22s %-42s %8d %10d\n" p.name p.description dl tl;
+        (tp + dl, tt + tl))
+      (0, 0) Bench_suite.Projects.all
+  in
+  Printf.printf "%-22s %-42s %8d %10d\n" "Total" "" tp tt;
+  Printf.printf
+    "\n(The five large cores are functional re-implementations at reduced\n\
+    \ line counts; see DESIGN.md for the substitution rationale.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 / RQ1: repair results                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table3_cache : Bench_suite.Runner.trial_summary list option ref = ref None
+
+let run_table3 () =
+  match !table3_cache with
+  | Some r -> r
+  | None ->
+      let trials = 5 in
+      let scale = if !quick then 1.0 else 2.0 in
+      let results =
+        List.map
+          (fun (d : Bench_suite.Defects.t) ->
+            let cfg = Bench_suite.Runner.scenario_config ~budget_scale:scale d in
+            Bench_suite.Runner.run_defect ~cfg ~trials d)
+          Bench_suite.Defects.all
+      in
+      table3_cache := Some results;
+      results
+
+let table3 () =
+  section "Table 3: repair results for CirFix (this reproduction vs. paper)";
+  Printf.printf "%-4s %-22s %-52s %s %10s %8s %6s   %s\n" "Id" "Project"
+    "Defect" "Cat" "Time(s)" "Probes" "Edits" "Result (paper)";
+  let results = run_table3 () in
+  List.iter
+    (fun (s : Bench_suite.Runner.trial_summary) ->
+      let d = s.defect in
+      let ours =
+        if s.correct then "CORRECT"
+        else if s.repaired then "plausible"
+        else "-"
+      in
+      let paper =
+        match d.paper.repair_time with
+        | Some t when d.paper.correct -> Printf.sprintf "CORRECT %.1fs" t
+        | Some t -> Printf.sprintf "plausible %.1fs" t
+        | None -> "-"
+      in
+      Printf.printf "%-4d %-22s %-52s %3d %10.2f %8d %6d   %-10s (%s)\n" d.id
+        d.project
+        (if String.length d.description > 52 then
+           String.sub d.description 0 49 ^ "..."
+         else d.description)
+        d.category s.total_seconds s.probes s.edits ours paper)
+    results;
+  let plausible = List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.repaired) results in
+  let correct = List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.correct) results in
+  Printf.printf
+    "\nTotals: plausible %d/32, correct %d/32   (paper: 21/32 plausible, 16/32 correct)\n"
+    (List.length plausible) (List.length correct)
+
+let rq1 () =
+  section "RQ1: repair rate and the brute-force baseline";
+  let results = run_table3 () in
+  let plausible = List.length (List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.repaired) results) in
+  let correct = List.length (List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.correct) results) in
+  Printf.printf "CirFix: plausible %d/32 (%.1f%%), correct %d/32 (%.1f%%)\n"
+    plausible (100. *. float_of_int plausible /. 32.)
+    correct (100. *. float_of_int correct /. 32.);
+  Printf.printf "Paper:  plausible 21/32 (65.6%%), correct 16/32 (50.0%%)\n\n";
+  (* Brute force under the same probe budget on a representative subset:
+     the paper reports it does not scale beyond trivial single edits. *)
+  let subset = [ 3; 4; 9; 21 ] in
+  Printf.printf "Brute-force baseline (uniform edits, same probe budget):\n";
+  List.iter
+    (fun id ->
+      let d = Bench_suite.Defects.find id in
+      let cfg = Bench_suite.Runner.scenario_config d in
+      let cirfix_s = List.find (fun (s : Bench_suite.Runner.trial_summary) -> s.defect.id = id) results in
+      let bf = Cirfix.Brute_force.search ~max_depth:2 cfg (Bench_suite.Defects.problem d) in
+      Printf.printf
+        "  #%-2d %-22s brute-force: %-9s (%d probes, %.1fs)  cirfix: %-9s (%d probes, %.1fs)\n"
+        id d.project
+        (if bf.repaired <> None then "repaired" else "none")
+        bf.probes bf.wall_seconds
+        (if cirfix_s.repaired then "repaired" else "none")
+        cirfix_s.probes cirfix_s.total_seconds)
+    subset
+
+(* ------------------------------------------------------------------ *)
+(* RQ2: defect categories                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rq2 () =
+  section "RQ2: performance per defect category";
+  let results = run_table3 () in
+  let by_cat c = List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.defect.category = c) results in
+  let stats_for c =
+    let rs = by_cat c in
+    let repaired = List.filter (fun (s : Bench_suite.Runner.trial_summary) -> s.repaired) rs in
+    let times = List.map (fun (s : Bench_suite.Runner.trial_summary) -> s.seconds) repaired in
+    let probes =
+      List.map (fun (s : Bench_suite.Runner.trial_summary) -> float_of_int s.probes) repaired
+    in
+    (List.length rs, List.length repaired, times, probes)
+  in
+  let n1, r1, t1, p1 = stats_for 1 in
+  let n2, r2, t2, p2 = stats_for 2 in
+  Printf.printf "Category 1 (easy): %d/%d plausible (%.1f%%), mean probes %.0f, mean time %.2fs\n"
+    r1 n1 (100. *. float_of_int r1 /. float_of_int n1)
+    (Cirfix.Stats.mean p1) (Cirfix.Stats.mean t1);
+  Printf.printf "Category 2 (hard): %d/%d plausible (%.1f%%), mean probes %.0f, mean time %.2fs\n"
+    r2 n2 (100. *. float_of_int r2 /. float_of_int n2)
+    (Cirfix.Stats.mean p2) (Cirfix.Stats.mean t2);
+  Printf.printf "Paper: 12/19 (63.2%%) category 1, 9/13 (69.2%%) category 2\n";
+  if t1 <> [] && t2 <> [] then (
+    let mwu = Cirfix.Stats.mann_whitney_u t1 t2 in
+    Printf.printf
+      "Mann-Whitney U on repair times: U=%.1f, p=%.3f (paper: p=0.373, not significant)\n"
+      mwu.u mwu.p_two_tailed)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: simulation vs expected behaviour                          *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  section "Figure 2: simulation result vs expected behaviour (faulty counter)";
+  let d = Bench_suite.Defects.find 4 in
+  let prob = Bench_suite.Defects.problem d in
+  let ev = Cirfix.Evaluate.create Cirfix.Config.default prob in
+  let o = Cirfix.Evaluate.eval_module ev (Cirfix.Problem.target_module prob) in
+  let show name (tr : Sim.Recorder.trace) =
+    Printf.printf "%s\n" name;
+    List.iteri
+      (fun i (s : Sim.Recorder.sample) ->
+        if i < 6 || i > List.length tr - 3 then
+          Printf.printf "  %4d,%s\n" s.t
+            (String.concat ","
+               (List.map (fun (_, v) -> Logic4.Vec.to_string v) s.values))
+        else if i = 6 then Printf.printf "  ...\n")
+      tr
+  in
+  (match o.trace with
+  | [] -> print_endline "(no trace)"
+  | s :: _ ->
+      Printf.printf "columns: time,%s\n\n" (String.concat "," (List.map fst s.values)));
+  show "Simulation Result (faulty)" o.trace;
+  show "Expected Behavior (oracle)" prob.oracle;
+  Printf.printf "\nmismatched signals: %s\n"
+    (String.concat ", "
+       (Cirfix.Fitness.mismatched_signals ~expected:prob.oracle ~actual:o.trace));
+  Printf.printf "fitness of the faulty design: %.3f (paper: 0.58)\n" o.fitness
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: multi-edit sdram_controller repair                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure3 () =
+  section "Figure 3: multi-edit repair of the sdram_controller reset defect";
+  let d = Bench_suite.Defects.find 32 in
+  Printf.printf "Defect (transplanted into the synchronous reset block):\n";
+  List.iter
+    (fun (old_s, new_s) ->
+      Printf.printf "  - %s\n  + %s\n"
+        (String.concat " / " (String.split_on_char '\n' (String.trim old_s)))
+        (String.concat " / " (String.split_on_char '\n' (String.trim new_s))))
+    d.rewrites;
+  let cfg = Bench_suite.Runner.scenario_config ~budget_scale:2.0 d in
+  let s = Bench_suite.Runner.run_defect ~cfg ~trials:5 d in
+  (match (s.patch, s.repaired_module) with
+  | Some p, Some m ->
+      Printf.printf "\nCirFix repair (%d edits, %.1fs, %d probes, %s):\n  %s\n"
+        (List.length p) s.seconds s.probes
+        (if s.correct then "correct" else "plausible")
+        (Cirfix.Patch.to_string p);
+      Printf.printf "\nRepaired reset block excerpt:\n";
+      let src = Verilog.Pp.module_to_string m in
+      String.split_on_char '\n' src
+      |> List.filteri (fun i _ -> i < 30)
+      |> List.iter (fun l -> Printf.printf "  %s\n" l)
+  | _ ->
+      Printf.printf "\nNo repair found under the current budget; paper took 4.6h\n\
+                    \ at popSize 5000 for this scenario. Re-run with --full.\n");
+  Printf.printf "\ninitial fitness of faulty design: %.3f (paper: 0.818)\n"
+    s.initial_fitness
+
+(* ------------------------------------------------------------------ *)
+(* RQ3: fitness trajectory on a multi-edit repair                      *)
+(* ------------------------------------------------------------------ *)
+
+let rq3 () =
+  section "RQ3: fitness function guidance (multi-edit counter repair)";
+  (* Reconstruct the staircase of the paper's triple-edit counter example:
+     apply the known human repair edit by edit and report fitness. *)
+  let d = Bench_suite.Defects.find 4 in
+  let prob = Bench_suite.Defects.problem d in
+  let original = Cirfix.Problem.target_module prob in
+  let ev = Cirfix.Evaluate.create Cirfix.Config.default prob in
+  (* Edits: insert the overflow assignment into the reset branch, then
+     decrement its constant (1'b1 -> 1'b0). *)
+  let stmts = Verilog.Ast_utils.stmts_of_module original in
+  let ov =
+    List.find
+      (fun (s : Verilog.Ast.stmt) ->
+        match s.Verilog.Ast.s with
+        | Verilog.Ast.Nonblocking (Verilog.Ast.LId "overflow_out", _, _) -> true
+        | _ -> false)
+      stmts
+  in
+  let cnt_reset =
+    List.find
+      (fun (s : Verilog.Ast.stmt) ->
+        match s.Verilog.Ast.s with
+        | Verilog.Ast.Nonblocking
+            (Verilog.Ast.LId "counter_out", _, { e = Verilog.Ast.Number v; _ }) ->
+            Logic4.Vec.to_int v = Some 0
+        | _ -> false)
+      stmts
+  in
+  let num_id =
+    match ov.Verilog.Ast.s with
+    | Verilog.Ast.Nonblocking (_, _, rhs) -> rhs.Verilog.Ast.eid
+    | _ -> assert false
+  in
+  let steps =
+    [
+      ("original (faulty)", []);
+      ( "+ insert overflow assignment in reset branch",
+        [ Cirfix.Patch.Insert (cnt_reset.Verilog.Ast.sid, ov) ] );
+      ( "+ decrement its constant (1'b1 -> 1'b0)",
+        [
+          Cirfix.Patch.Insert (cnt_reset.Verilog.Ast.sid, ov);
+          Cirfix.Patch.Template (Cirfix.Templates.Decrement_value, num_id, None);
+        ] );
+    ]
+  in
+  Printf.printf "%-48s %s\n" "candidate" "fitness";
+  List.iter
+    (fun (label, patch) ->
+      let o = Cirfix.Evaluate.eval_patch ev original patch in
+      Printf.printf "%-48s %.3f\n" label o.fitness)
+    steps;
+  Printf.printf
+    "\n(The paper's triple-edit counter repair climbs 0 -> 0.58 -> 0.77 -> 1.0;\n\
+    \ each productive edit must raise fitness monotonically, as it does here.)\n";
+  (* Also show the best-fitness-per-generation curve of an actual run. *)
+  let cfg =
+    { (Bench_suite.Runner.scenario_config d) with seed = 2; max_probes = 4000 }
+  in
+  let r = Cirfix.Gp.repair cfg prob in
+  Printf.printf "\nbest fitness per generation (seed 2): %s%s\n"
+    (String.concat " "
+       (List.map
+          (fun (g : Cirfix.Gp.generation_stats) ->
+            Printf.sprintf "%.2f" g.best_fitness)
+          r.generations))
+    (if r.repaired <> None then " -> 1.00 (repair found)" else "")
+
+(* ------------------------------------------------------------------ *)
+(* RQ4: sensitivity to the quality of correctness information          *)
+(* ------------------------------------------------------------------ *)
+
+let rq4 () =
+  section "RQ4: sensitivity to the expected-behaviour information";
+  (* Thin the oracle to 100% / 50% / 25% of its sampled timestamps and
+     re-run repair on the scenarios the paper's analysis considers (the
+     ones repaired with full information). *)
+  let candidates = [ 3; 4; 5; 6; 7; 11; 12; 13; 14; 18 ] in
+  Printf.printf "oracle quality: plausible repairs / correct repairs over %d scenarios\n"
+    (List.length candidates);
+  List.iter
+    (fun keep ->
+      let plausible = ref 0 and correct = ref 0 in
+      List.iter
+        (fun id ->
+          let d = Bench_suite.Defects.find id in
+          let prob = Bench_suite.Defects.problem d in
+          let thinned = { prob with oracle = Cirfix.Oracle.thin ~keep prob.oracle } in
+          let cfg = Bench_suite.Runner.scenario_config d in
+          let rec attempt seed =
+            let r = Cirfix.Gp.repair { cfg with seed } thinned in
+            match r.repaired_module with
+            | Some m -> Some m
+            | None -> if seed >= 3 then None else attempt (seed + 1)
+          in
+          match attempt 1 with
+          | Some m ->
+              incr plausible;
+              if Bench_suite.Defects.is_correct d m then incr correct
+          | None -> ())
+        candidates;
+      Printf.printf "  %3d%% of samples: %2d plausible, %2d correct\n"
+        (100 / keep) !plausible !correct)
+    [ 1; 2; 4 ];
+  Printf.printf
+    "(paper, over all 32: 21/20/20 plausible and 16/12/10 correct at 100/50/25%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A1: fix localization                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_fixloc () =
+  section "Ablation: fix localization (share of degenerate mutants)";
+  (* The paper measures the share of mutants that fail to COMPILE (their
+     text-level patches can be syntactically invalid). Our edits operate on
+     the AST, so mutants are syntactically valid by construction; the
+     analogous failure mode is a semantically degenerate mutant - one that
+     fails elaboration, diverges, or scores fitness 0. We sample N single
+     edits per mode and evaluate each directly. *)
+  let scenarios = [ 4; 9; 32 ] in
+  let samples = 400 in
+  Printf.printf "%-24s %22s %22s\n" "scenario" "with fix loc"
+    "without fix loc";
+  Printf.printf "%-24s %22s %22s\n" "" "(zero-fit / elab-fail)"
+    "(zero-fit / elab-fail)";
+  List.iter
+    (fun id ->
+      let d = Bench_suite.Defects.find id in
+      let prob = Bench_suite.Defects.problem d in
+      let original = Cirfix.Problem.target_module prob in
+      let stmts = Verilog.Ast_utils.stmts_of_module original in
+      let rate use_fix_loc =
+        let cfg =
+          { (Bench_suite.Runner.scenario_config d) with use_fix_loc }
+        in
+        let ev = Cirfix.Evaluate.create cfg prob in
+        let rng = Random.State.make [| 11 * id |] in
+        let zero = ref 0 and elab = ref 0 and total = ref 0 in
+        for _ = 1 to samples do
+          match Cirfix.Mutate.mutate rng cfg original ~fl_stmts:stmts with
+          | None -> ()
+          | Some e ->
+              incr total;
+              let o = Cirfix.Evaluate.eval_patch ev original [ e ] in
+              if o.fitness = 0.0 then incr zero;
+              (match o.status with
+              | Cirfix.Evaluate.Compile_error _ -> incr elab
+              | _ -> ())
+        done;
+        if !total = 0 then (0., 0.)
+        else
+          ( 100. *. float_of_int !zero /. float_of_int !total,
+            100. *. float_of_int !elab /. float_of_int !total )
+      in
+      let z1, e1 = rate true and z0, e0 = rate false in
+      Printf.printf "%-24s %12.1f%% / %5.1f%% %12.1f%% / %5.1f%%\n"
+        (Printf.sprintf "#%d %s" id d.project)
+        z1 e1 z0 e0)
+    scenarios;
+  Printf.printf
+    "(paper: fix localization reduces non-compiling mutants from 35%% to 10%%;\n\
+    \ here AST edits always parse, so the drop shows up in degenerate-mutant\n\
+    \ rates instead)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A2: the phi penalty weight                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_phi () =
+  section "Ablation: x/z penalty weight phi (paper Sec. 4.2)";
+  let scenarios = [ 4; 13; 14 ] in
+  Printf.printf "%-24s %10s %10s %10s\n" "scenario" "phi=1" "phi=2" "phi=3";
+  List.iter
+    (fun id ->
+      let d = Bench_suite.Defects.find id in
+      let result phi =
+        let cfg = { (Bench_suite.Runner.scenario_config d) with phi } in
+        let s = Bench_suite.Runner.run_defect ~cfg ~trials:3 d in
+        if s.repaired then Printf.sprintf "%d probes" s.probes else "none"
+      in
+      Printf.printf "%-24s %10s %10s %10s\n"
+        (Printf.sprintf "#%d %s" id d.project)
+        (result 1.0) (result 2.0) (result 3.0))
+    scenarios;
+  Printf.printf
+    "(paper: phi=1 under-penalizes x/z comparisons, phi=3 over-penalizes;\n\
+    \ phi=2 is the default)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A3: GP parameter sensitivity (the paper's future work)      *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_params () =
+  section "Ablation: GP parameter sensitivity (paper Sec. 6 future work)";
+  let d = Bench_suite.Defects.find 4 in
+  let base = Bench_suite.Runner.scenario_config d in
+  let run cfg =
+    let s = Bench_suite.Runner.run_defect ~cfg ~trials:3 d in
+    if s.repaired then Printf.sprintf "%d probes" s.probes else "none"
+  in
+  Printf.printf "scenario #4 (counter incorrect reset), 3 trials per cell\n\n";
+  Printf.printf "population size:   ";
+  List.iter
+    (fun pop -> Printf.printf "pop=%-4d %-12s " pop (run { base with pop_size = pop }))
+    [ 60; 200; 500 ];
+  print_newline ();
+  Printf.printf "mutation split:    ";
+  List.iter
+    (fun mt ->
+      Printf.printf "mut=%.1f %-12s " mt (run { base with mut_threshold = mt }))
+    [ 0.5; 0.7; 0.9 ];
+  print_newline ();
+  Printf.printf "template share:    ";
+  List.iter
+    (fun rt ->
+      Printf.printf "rt=%.1f  %-12s " rt (run { base with rt_threshold = rt }))
+    [ 0.1; 0.2; 0.4 ];
+  print_newline ();
+  Printf.printf "tournament size:   ";
+  List.iter
+    (fun t ->
+      Printf.printf "t=%-2d    %-12s " t (run { base with tournament_size = t }))
+    [ 2; 5; 10 ];
+  print_newline ();
+  Printf.printf
+    "\n(The paper argues operator and representation choices matter more than\n\
+    \ exact GP parameter values; the flat response across cells agrees.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let counter_src = Corpus.read "counter.v" in
+  let tb_src = Corpus.read "counter_tb.v" in
+  let full = counter_src ^ "\n" ^ tb_src in
+  let design = Result.get_ok (Verilog.Parser.parse_design_result full) in
+  let spec : Sim.Simulate.spec =
+    { top = "counter_tb"; clock = "counter_tb.clk"; dut_path = "counter_tb.dut" }
+  in
+  let d4 = Bench_suite.Defects.find 4 in
+  let prob = Bench_suite.Defects.problem d4 in
+  let original = Cirfix.Problem.target_module prob in
+  let ev = Cirfix.Evaluate.create Cirfix.Config.default prob in
+  let faulty_trace =
+    (Cirfix.Evaluate.eval_module ev original).Cirfix.Evaluate.trace
+  in
+  let rng = Random.State.make [| 1 |] in
+  let fl = Cirfix.Fault_loc.localize original ~mismatch:[ "overflow_out" ] in
+  let fl_stmts = Cirfix.Fault_loc.fl_statements original fl in
+  let tests =
+    [
+      Test.make ~name:"T2: parse counter+tb" (Staged.stage (fun () ->
+          ignore (Verilog.Parser.parse_design_result full)));
+      Test.make ~name:"T2: simulate counter tb" (Staged.stage (fun () ->
+          ignore (Sim.Simulate.run design spec)));
+      Test.make ~name:"T3: fitness evaluation" (Staged.stage (fun () ->
+          ignore
+            (Cirfix.Fitness.score ~phi:2.0 ~expected:prob.oracle
+               ~actual:faulty_trace)));
+      Test.make ~name:"T3: fault localization" (Staged.stage (fun () ->
+          ignore (Cirfix.Fault_loc.localize original ~mismatch:[ "overflow_out" ])));
+      Test.make ~name:"T3: mutation draw" (Staged.stage (fun () ->
+          ignore (Cirfix.Mutate.mutate rng Cirfix.Config.default original ~fl_stmts)));
+      Test.make ~name:"T3: patch materialize + digest" (Staged.stage (fun () ->
+          ignore
+            (Cirfix.Patch.digest original
+               [ Cirfix.Patch.Delete (List.hd fl_stmts).Verilog.Ast.sid ])));
+      Test.make ~name:"F2: regenerate verilog" (Staged.stage (fun () ->
+          ignore (Verilog.Pp.module_to_string original)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"cirfix" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("figure2", figure2);
+    ("figure3", figure3);
+    ("rq1", rq1);
+    ("rq2", rq2);
+    ("rq3", rq3);
+    ("rq4", rq4);
+    ("ablation-fixloc", ablation_fixloc);
+    ("ablation-phi", ablation_phi);
+    ("ablation-params", ablation_params);
+    ("perf", perf);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then (
+          quick := false;
+          false)
+        else if a = "--quick" then (
+          quick := true;
+          false)
+        else true)
+      args
+  in
+  match args with
+  | [] ->
+      Printf.printf "CirFix evaluation harness (quick=%b)\n" !quick;
+      List.iter (fun (_, f) -> f ()) artifacts
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown artifact %s; known: %s\n" name
+                (String.concat ", " (List.map fst artifacts));
+              exit 1)
+        names

@@ -1,0 +1,43 @@
+// Validation testbench for the 4-bit counter: different stimulus from the
+// repair testbench (mid-run reset, enable gaps) used only to classify a
+// plausible repair as correct vs. testbench-overfitting.
+module counter_tb;
+  reg clk, reset, enable;
+  wire [3:0] counter_out;
+  wire overflow_out;
+
+  counter dut (
+    .clk(clk),
+    .reset(reset),
+    .enable(enable),
+    .counter_out(counter_out),
+    .overflow_out(overflow_out)
+  );
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    enable = 0;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    enable = 1;
+    repeat (7) @(negedge clk);
+    enable = 0; // pause counting
+    repeat (3) @(negedge clk);
+    enable = 1;
+    repeat (12) @(negedge clk);
+    reset = 1; // reset mid-count, after overflow
+    @(negedge clk);
+    reset = 0;
+    repeat (6) @(negedge clk);
+    enable = 0;
+    #5 $finish;
+  end
+endmodule

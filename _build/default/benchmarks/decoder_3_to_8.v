@@ -1,0 +1,29 @@
+// 3-to-8 line decoder with enable (one-hot output).
+module decoder_3_to_8(en, a, y);
+  input en;
+  input [2:0] a;
+  output [7:0] y;
+
+  wire en;
+  wire [2:0] a;
+  reg [7:0] y;
+
+  always @(en or a) begin
+    if (en == 1'b1) begin
+      case (a)
+        3'b000: y = 8'b00000001;
+        3'b001: y = 8'b00000010;
+        3'b010: y = 8'b00000100;
+        3'b011: y = 8'b00001000;
+        3'b100: y = 8'b00010000;
+        3'b101: y = 8'b00100000;
+        3'b110: y = 8'b01000000;
+        3'b111: y = 8'b10000000;
+        default: y = 8'b00000000;
+      endcase
+    end
+    else begin
+      y = 8'b00000000;
+    end
+  end
+endmodule

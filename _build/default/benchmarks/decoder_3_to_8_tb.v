@@ -1,0 +1,38 @@
+// Testbench for the 3-to-8 decoder: walk every select value with the
+// decoder enabled, then spot-check with the decoder disabled.
+module decoder_3_to_8_tb;
+  reg clk;
+  reg en;
+  reg [2:0] a;
+  wire [7:0] y;
+
+  decoder_3_to_8 dut (.en(en), .a(a), .y(y));
+
+  initial begin
+    clk = 0;
+    en = 0;
+    a = 3'b000;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    en = 1;
+    a = 3'b000;
+    repeat (7) begin
+      @(negedge clk);
+      a = a + 1;
+    end
+    @(negedge clk);
+    en = 0;
+    a = 3'b011;
+    @(negedge clk);
+    en = 1;
+    @(negedge clk);
+    en = 0;
+    a = 3'b110;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,43 @@
+// Validation testbench for the 3-to-8 decoder: pseudo-random select
+// sequence with interleaved enable toggles.
+module decoder_3_to_8_tb;
+  reg clk;
+  reg en;
+  reg [2:0] a;
+  wire [7:0] y;
+
+  decoder_3_to_8 dut (.en(en), .a(a), .y(y));
+
+  initial begin
+    clk = 0;
+    en = 0;
+    a = 3'b101;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    en = 1;
+    a = 3'b111;
+    @(negedge clk);
+    a = 3'b010;
+    @(negedge clk);
+    a = 3'b110;
+    @(negedge clk);
+    en = 0;
+    @(negedge clk);
+    en = 1;
+    a = 3'b001;
+    @(negedge clk);
+    a = 3'b100;
+    @(negedge clk);
+    a = 3'b000;
+    @(negedge clk);
+    a = 3'b011;
+    @(negedge clk);
+    a = 3'b101;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,26 @@
+// T flip-flop with synchronous reset.
+module flip_flop(clk, reset, t, q);
+  input clk;
+  input reset;
+  input t;
+  output q;
+
+  wire clk;
+  wire reset;
+  wire t;
+  reg q;
+
+  always @(posedge clk) begin
+    if (reset == 1'b1) begin
+      q <= 1'b0;
+    end
+    else begin
+      if (t == 1'b1) begin
+        q <= !q;
+      end
+      else begin
+        q <= q;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,33 @@
+// Testbench for the T flip-flop: reset, free toggle, hold, toggle again.
+module flip_flop_tb;
+  reg clk, reset, t;
+  wire q;
+
+  flip_flop dut (.clk(clk), .reset(reset), .t(t), .q(q));
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    t = 0;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    t = 1;
+    repeat (6) @(negedge clk);
+    t = 0;
+    repeat (3) @(negedge clk);
+    t = 1;
+    repeat (5) @(negedge clk);
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    repeat (3) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

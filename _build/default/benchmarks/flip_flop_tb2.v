@@ -1,0 +1,42 @@
+// Validation testbench for the T flip-flop: single-cycle toggle pulses and
+// a reset asserted while t is high.
+module flip_flop_tb;
+  reg clk, reset, t;
+  wire q;
+
+  flip_flop dut (.clk(clk), .reset(reset), .t(t), .q(q));
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    t = 0;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    @(negedge clk);
+    t = 1;
+    @(negedge clk);
+    t = 0;
+    repeat (2) @(negedge clk);
+    t = 1;
+    @(negedge clk);
+    t = 0;
+    @(negedge clk);
+    t = 1;
+    repeat (2) @(negedge clk);
+    reset = 1; // reset wins over toggle
+    @(negedge clk);
+    reset = 0;
+    t = 0;
+    repeat (2) @(negedge clk);
+    t = 1;
+    repeat (3) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,64 @@
+// Two-request arbiter FSM (two-process style): a registered state machine
+// plus a combinational next-state/output block with grant outputs.
+module fsm_full(clock, reset, req_0, req_1, gnt_0, gnt_1);
+  input clock;
+  input reset;
+  input req_0;
+  input req_1;
+  output gnt_0;
+  output gnt_1;
+
+  wire clock;
+  wire reset;
+  wire req_0;
+  wire req_1;
+  reg gnt_0;
+  reg gnt_1;
+
+  parameter IDLE = 3'b001;
+  parameter GNT0 = 3'b010;
+  parameter GNT1 = 3'b100;
+
+  reg [2:0] state;
+  reg [2:0] next_state;
+
+  // Sequential block: advance the state on the rising clock edge.
+  always @(posedge clock) begin
+    if (reset == 1'b1) begin
+      state <= IDLE;
+    end
+    else begin
+      state <= next_state;
+    end
+  end
+
+  // Combinational block: next state and Mealy-style grant outputs.
+  always @(state or req_0 or req_1) begin
+    next_state = state;
+    gnt_0 = 1'b0;
+    gnt_1 = 1'b0;
+    case (state)
+      IDLE: begin
+        if (req_0 == 1'b1) begin
+          next_state = GNT0;
+        end
+        else if (req_1 == 1'b1) begin
+          next_state = GNT1;
+        end
+      end
+      GNT0: begin
+        gnt_0 = 1'b1;
+        if (req_0 == 1'b0) begin
+          next_state = IDLE;
+        end
+      end
+      GNT1: begin
+        gnt_1 = 1'b1;
+        if (req_1 == 1'b0) begin
+          next_state = IDLE;
+        end
+      end
+      default: next_state = IDLE;
+    endcase
+  end
+endmodule

@@ -1,0 +1,50 @@
+// Testbench for the arbiter FSM: single requests, overlapping requests
+// (req_0 has priority from IDLE), and a hand-off between requesters.
+module fsm_full_tb;
+  reg clock, reset, req_0, req_1;
+  wire gnt_0, gnt_1;
+
+  fsm_full dut (
+    .clock(clock),
+    .reset(reset),
+    .req_0(req_0),
+    .req_1(req_1),
+    .gnt_0(gnt_0),
+    .gnt_1(gnt_1)
+  );
+
+  initial begin
+    clock = 0;
+    reset = 0;
+    req_0 = 0;
+    req_1 = 0;
+  end
+
+  always #5 clock = !clock;
+
+  initial begin
+    @(negedge clock);
+    reset = 1;
+    @(negedge clock);
+    reset = 0;
+    // Lone request from requester 0.
+    req_0 = 1;
+    repeat (3) @(negedge clock);
+    req_0 = 0;
+    repeat (2) @(negedge clock);
+    // Lone request from requester 1.
+    req_1 = 1;
+    repeat (3) @(negedge clock);
+    req_1 = 0;
+    @(negedge clock);
+    // Simultaneous requests: requester 0 must win from IDLE.
+    req_0 = 1;
+    req_1 = 1;
+    repeat (3) @(negedge clock);
+    req_0 = 0; // hand-off: grant must move to requester 1
+    repeat (3) @(negedge clock);
+    req_1 = 0;
+    repeat (2) @(negedge clock);
+    #5 $finish;
+  end
+endmodule

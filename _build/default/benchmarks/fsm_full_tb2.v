@@ -1,0 +1,51 @@
+// Validation testbench for the arbiter FSM: request pulses of varying
+// width, a reset during an active grant, and rapid re-requests.
+module fsm_full_tb;
+  reg clock, reset, req_0, req_1;
+  wire gnt_0, gnt_1;
+
+  fsm_full dut (
+    .clock(clock),
+    .reset(reset),
+    .req_0(req_0),
+    .req_1(req_1),
+    .gnt_0(gnt_0),
+    .gnt_1(gnt_1)
+  );
+
+  initial begin
+    clock = 0;
+    reset = 0;
+    req_0 = 0;
+    req_1 = 0;
+  end
+
+  always #5 clock = !clock;
+
+  initial begin
+    @(negedge clock);
+    reset = 1;
+    @(negedge clock);
+    reset = 0;
+    req_1 = 1;
+    repeat (2) @(negedge clock);
+    req_0 = 1; // requester 0 arrives while 1 holds the grant
+    repeat (2) @(negedge clock);
+    req_1 = 0;
+    repeat (2) @(negedge clock);
+    reset = 1; // reset during an active grant
+    @(negedge clock);
+    reset = 0;
+    repeat (2) @(negedge clock);
+    req_0 = 0;
+    @(negedge clock);
+    req_0 = 1;
+    @(negedge clock);
+    req_0 = 0;
+    req_1 = 1;
+    repeat (2) @(negedge clock);
+    req_1 = 0;
+    repeat (2) @(negedge clock);
+    #5 $finish;
+  end
+endmodule

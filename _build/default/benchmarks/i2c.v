@@ -1,0 +1,216 @@
+// I2C master controller (re-implementation at reduced scale of the
+// OpenCores two-wire bidirectional serial bus core). One command = START,
+// 7-bit address + R/W, slave ACK, then one data byte written or read,
+// master NACK on reads, STOP. Bits advance one per SCL cycle; SCL runs at
+// half the system clock while a transaction is in flight.
+module i2c(clk, rst_n, start, rw, addr, wdata, sda_in,
+           scl, sda_out, sda_oe, rdata, busy, ack_error, done, timeout);
+  input clk;
+  input rst_n;
+  input start;     // pulse: begin a transaction
+  input rw;        // 0 = write, 1 = read
+  input [6:0] addr;
+  input [7:0] wdata;
+  input sda_in;    // data driven by the slave when sda_oe is low
+  output scl;
+  output sda_out;
+  output sda_oe;   // master drives SDA when high
+  output [7:0] rdata;
+  output busy;
+  output ack_error;
+  output done;
+  output timeout;
+
+  wire clk;
+  wire rst_n;
+  wire start;
+  wire rw;
+  wire [6:0] addr;
+  wire [7:0] wdata;
+  wire sda_in;
+  reg scl;
+  reg sda_out;
+  reg sda_oe;
+  reg [7:0] rdata;
+  reg busy;
+  reg ack_error;
+  reg done;
+  wire timeout;
+
+  // Transaction FSM states.
+  parameter S_IDLE  = 4'd0;
+  parameter S_START = 4'd1;
+  parameter S_ADDR  = 4'd2;
+  parameter S_ACK1  = 4'd3;
+  parameter S_WRITE = 4'd4;
+  parameter S_ACK2  = 4'd5;
+  parameter S_READ  = 4'd6;
+  parameter S_MACK  = 4'd7;
+  parameter S_STOP  = 4'd8;
+
+  reg [3:0] state;
+  reg [2:0] bit_cnt;
+  reg [7:0] shift;
+
+  i2c_watchdog guard (
+    .clk(clk),
+    .rst_n(rst_n),
+    .busy(busy),
+    .done(done),
+    .timeout(timeout)
+  );
+
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      state <= S_IDLE;
+      scl <= 1'b1;
+      sda_out <= 1'b1;
+      sda_oe <= 1'b0;
+      rdata <= 8'h00;
+      busy <= 1'b0;
+      ack_error <= 1'b0;
+      done <= 1'b0;
+      bit_cnt <= 3'd0;
+      shift <= 8'h00;
+    end
+    else begin
+      case (state)
+        S_IDLE: begin
+          scl <= 1'b1;
+          done <= 1'b0;
+          if (start == 1'b1) begin
+            busy <= 1'b1;
+            ack_error <= 1'b0;
+            shift <= {addr, rw};
+            bit_cnt <= 3'd7;
+            // START condition: SDA falls while SCL is high.
+            sda_out <= 1'b0;
+            sda_oe <= 1'b1;
+            state <= S_START;
+          end
+        end
+        S_START: begin
+          scl <= 1'b0;
+          state <= S_ADDR;
+        end
+        S_ADDR: begin
+          // One address bit per cycle, MSB first.
+          sda_out <= shift[7];
+          shift <= {shift[6:0], 1'b0};
+          scl <= !scl;
+          if (bit_cnt == 3'd0) begin
+            state <= S_ACK1;
+          end
+          else begin
+            bit_cnt <= bit_cnt - 3'd1;
+          end
+        end
+        S_ACK1: begin
+          // Release SDA and sample the slave's acknowledge.
+          sda_oe <= 1'b0;
+          if (sda_in == 1'b1) begin
+            ack_error <= 1'b1;
+            state <= S_STOP;
+          end
+          else begin
+            if (rw == 1'b0) begin
+              shift <= wdata;
+              bit_cnt <= 3'd7;
+              sda_oe <= 1'b1;
+              state <= S_WRITE;
+            end
+            else begin
+              bit_cnt <= 3'd7;
+              state <= S_READ;
+            end
+          end
+        end
+        S_WRITE: begin
+          sda_out <= shift[7];
+          shift <= {shift[6:0], 1'b0};
+          scl <= !scl;
+          if (bit_cnt == 3'd0) begin
+            state <= S_ACK2;
+          end
+          else begin
+            bit_cnt <= bit_cnt - 3'd1;
+          end
+        end
+        S_ACK2: begin
+          sda_oe <= 1'b0;
+          if (sda_in == 1'b1) begin
+            ack_error <= 1'b1;
+          end
+          state <= S_STOP;
+        end
+        S_READ: begin
+          // Sample one bit per cycle from the slave, MSB first.
+          rdata <= {rdata[6:0], sda_in};
+          scl <= !scl;
+          if (bit_cnt == 3'd0) begin
+            state <= S_MACK;
+          end
+          else begin
+            bit_cnt <= bit_cnt - 3'd1;
+          end
+        end
+        S_MACK: begin
+          // Master NACK terminates a single-byte read.
+          sda_oe <= 1'b1;
+          sda_out <= 1'b1;
+          state <= S_STOP;
+        end
+        S_STOP: begin
+          // STOP condition: SDA rises while SCL is high.
+          scl <= 1'b1;
+          sda_out <= 1'b1;
+          sda_oe <= 1'b1;
+          busy <= 1'b0;
+          done <= 1'b1;
+          state <= S_IDLE;
+        end
+        default: state <= S_IDLE;
+      endcase
+    end
+  end
+endmodule
+
+// Bus watchdog: flags a transaction that stays busy implausibly long
+// (a stuck slave or a wedged controller FSM). The limit comfortably
+// exceeds a single-byte transaction (start + 8 addr + ack + 8 data +
+// ack + stop, with margin).
+module i2c_watchdog(clk, rst_n, busy, done, timeout);
+  input clk;
+  input rst_n;
+  input busy;
+  input done;
+  output timeout;
+
+  wire clk;
+  wire rst_n;
+  wire busy;
+  wire done;
+  reg timeout;
+
+  parameter LIMIT = 6'd40;
+
+  reg [5:0] watch_cnt;
+
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      watch_cnt <= 6'd0;
+      timeout <= 1'b0;
+    end
+    else begin
+      if (busy == 1'b0 || done == 1'b1) begin
+        watch_cnt <= 6'd0;
+      end
+      else if (watch_cnt == LIMIT) begin
+        timeout <= 1'b1;
+      end
+      else begin
+        watch_cnt <= watch_cnt + 6'd1;
+      end
+    end
+  end
+endmodule

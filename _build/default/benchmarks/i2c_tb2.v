@@ -1,0 +1,85 @@
+// Validation testbench for the I2C master: back-to-back writes with
+// different payloads, a read, and a mid-transaction reset.
+module i2c_tb;
+  reg clk, rst_n, start, rw;
+  reg [6:0] addr;
+  reg [7:0] wdata;
+  reg sda_in;
+  wire scl, sda_out, sda_oe, busy, ack_error, done;
+  wire [7:0] rdata;
+
+  i2c dut (
+    .clk(clk),
+    .rst_n(rst_n),
+    .start(start),
+    .rw(rw),
+    .addr(addr),
+    .wdata(wdata),
+    .sda_in(sda_in),
+    .scl(scl),
+    .sda_out(sda_out),
+    .sda_oe(sda_oe),
+    .rdata(rdata),
+    .busy(busy),
+    .ack_error(ack_error),
+    .done(done)
+  );
+
+  reg [7:0] slave_data;
+
+  initial begin
+    clk = 0;
+    rst_n = 1;
+    start = 0;
+    rw = 0;
+    addr = 7'h00;
+    wdata = 8'h00;
+    sda_in = 0;
+    slave_data = 8'h3E;
+  end
+
+  always #5 clk = !clk;
+
+  always @(negedge clk) begin
+    if (sda_oe == 1'b0) begin
+      sda_in = slave_data[7];
+      slave_data = {slave_data[6:0], slave_data[7]};
+    end
+    else begin
+      sda_in = 0;
+    end
+  end
+
+  initial begin
+    @(negedge clk);
+    rst_n = 0;
+    @(negedge clk);
+    rst_n = 1;
+    @(negedge clk);
+    addr = 7'h10;
+    wdata = 8'hF0;
+    rw = 0;
+    start = 1;
+    @(negedge clk);
+    start = 0;
+    repeat (24) @(negedge clk);
+    addr = 7'h77;
+    wdata = 8'h0D;
+    rw = 0;
+    start = 1;
+    @(negedge clk);
+    start = 0;
+    repeat (10) @(negedge clk);
+    rst_n = 0; // reset in the middle of the write
+    @(negedge clk);
+    rst_n = 1;
+    repeat (4) @(negedge clk);
+    addr = 7'h22;
+    rw = 1;
+    start = 1;
+    @(negedge clk);
+    start = 0;
+    repeat (24) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

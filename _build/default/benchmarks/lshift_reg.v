@@ -1,0 +1,35 @@
+// 8-bit left-rotating shift register with parallel load, active-low reset,
+// and a serial tap of the outgoing bit.
+module lshift_reg(clk, rstn, load_en, load_val, op, serial_out);
+  input clk;
+  input rstn;
+  input load_en;
+  input [7:0] load_val;
+  output [7:0] op;
+  output serial_out;
+
+  wire clk;
+  wire rstn;
+  wire load_en;
+  wire [7:0] load_val;
+  reg [7:0] op;
+  reg serial_out;
+
+  always @(posedge clk) begin
+    if (rstn == 1'b0) begin
+      op <= 8'h00;
+      serial_out <= 1'b0;
+    end
+    else begin
+      if (load_en == 1'b1) begin
+        op <= load_val;
+      end
+      else begin
+        op <= {op[6:0], op[7]};
+      end
+      // The tap must observe the pre-shift MSB, so this read relies on
+      // the non-blocking semantics of the assignments above.
+      serial_out <= op[7];
+    end
+  end
+endmodule

@@ -1,0 +1,44 @@
+// Testbench for the left shift register: load a pattern and rotate it a
+// full period, then load a second pattern.
+module lshift_reg_tb;
+  reg clk, rstn, load_en;
+  reg [7:0] load_val;
+  wire [7:0] op;
+  wire serial_out;
+
+  lshift_reg dut (
+    .clk(clk),
+    .rstn(rstn),
+    .load_en(load_en),
+    .load_val(load_val),
+    .op(op),
+    .serial_out(serial_out)
+  );
+
+  initial begin
+    clk = 0;
+    rstn = 1;
+    load_en = 0;
+    load_val = 8'h00;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    rstn = 0;
+    @(negedge clk);
+    rstn = 1;
+    load_en = 1;
+    load_val = 8'hA5;
+    @(negedge clk);
+    load_en = 0;
+    repeat (9) @(negedge clk);
+    load_en = 1;
+    load_val = 8'h3C;
+    @(negedge clk);
+    load_en = 0;
+    repeat (5) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,26 @@
+// 4-to-1 multiplexer over 4-bit data inputs, one-hot select.
+module mux_4_1(sel, a, b, c, d, y);
+  input [3:0] sel;
+  input [3:0] a;
+  input [3:0] b;
+  input [3:0] c;
+  input [3:0] d;
+  output [3:0] y;
+
+  wire [3:0] sel;
+  wire [3:0] a;
+  wire [3:0] b;
+  wire [3:0] c;
+  wire [3:0] d;
+  reg [3:0] y;
+
+  always @(sel or a or b or c or d) begin
+    case (sel)
+      4'b0001: y = a;
+      4'b0010: y = b;
+      4'b0100: y = c;
+      4'b1000: y = d;
+      default: y = 4'b0000;
+    endcase
+  end
+endmodule

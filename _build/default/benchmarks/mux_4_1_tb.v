@@ -1,0 +1,44 @@
+// Testbench for the 4-to-1 mux: select each input in turn, change data
+// mid-selection, and exercise the no-select default.
+module mux_4_1_tb;
+  reg clk;
+  reg [3:0] sel, a, b, c, d;
+  wire [3:0] y;
+
+  mux_4_1 dut (.sel(sel), .a(a), .b(b), .c(c), .d(d), .y(y));
+
+  initial begin
+    clk = 0;
+    sel = 4'b0000;
+    a = 4'h1;
+    b = 4'h2;
+    c = 4'h3;
+    d = 4'h4;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    sel = 4'b0001;
+    @(negedge clk);
+    sel = 4'b0010;
+    @(negedge clk);
+    sel = 4'b0100;
+    @(negedge clk);
+    sel = 4'b1000;
+    @(negedge clk);
+    a = 4'hA;
+    sel = 4'b0001;
+    @(negedge clk);
+    d = 4'hF;
+    sel = 4'b1000;
+    @(negedge clk);
+    sel = 4'b0000;
+    @(negedge clk);
+    sel = 4'b0100;
+    c = 4'h7;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,41 @@
+// Validation testbench for the 4-to-1 mux: different data values and an
+// invalid (multi-hot) select pattern that must fall to the default arm.
+module mux_4_1_tb;
+  reg clk;
+  reg [3:0] sel, a, b, c, d;
+  wire [3:0] y;
+
+  mux_4_1 dut (.sel(sel), .a(a), .b(b), .c(c), .d(d), .y(y));
+
+  initial begin
+    clk = 0;
+    sel = 4'b0000;
+    a = 4'h9;
+    b = 4'h6;
+    c = 4'hC;
+    d = 4'h0;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    sel = 4'b1000;
+    @(negedge clk);
+    sel = 4'b0010;
+    @(negedge clk);
+    sel = 4'b0011; // multi-hot: default arm
+    @(negedge clk);
+    sel = 4'b0001;
+    b = 4'h5;
+    @(negedge clk);
+    sel = 4'b0010;
+    @(negedge clk);
+    sel = 4'b0100;
+    @(negedge clk);
+    d = 4'h8;
+    sel = 4'b1000;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,254 @@
+// Reed-Solomon decoder front end (re-implementation at reduced scale of
+// the reed_solomon_decoder error-correction core): a GF(2^8) syndrome
+// computation stage feeding an output pipeline stage (out_stage) with an
+// asynchronous reset, plus a frame watchdog counting received bytes.
+module syndrome_stage(clk, rst_n, byte_valid, byte_in, synd0, synd1);
+  input clk;
+  input rst_n;
+  input byte_valid;
+  input [7:0] byte_in;
+  output [7:0] synd0;
+  output [7:0] synd1;
+
+  wire clk;
+  wire rst_n;
+  wire byte_valid;
+  wire [7:0] byte_in;
+  reg [7:0] synd0;
+  reg [7:0] synd1;
+
+  // Horner evaluation: s0 = sum of bytes, s1 = sum of alpha^i * bytes,
+  // with the alpha multiply implemented as xtime reduction by 0x1D.
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      synd0 <= 8'h00;
+      synd1 <= 8'h00;
+    end
+    else begin
+      if (byte_valid == 1'b1) begin
+        synd0 <= synd0 ^ byte_in;
+        if (synd1[7] == 1'b1) begin
+          synd1 <= ({synd1[6:0], 1'b0} ^ 8'h1D) ^ byte_in;
+        end
+        else begin
+          synd1 <= {synd1[6:0], 1'b0} ^ byte_in;
+        end
+      end
+    end
+  end
+endmodule
+
+module out_stage(clk, rst, byte_valid, byte_in, correct_en, data_out, data_valid);
+  input clk;
+  input rst;
+  input byte_valid;
+  input [7:0] byte_in;
+  input correct_en;
+  output [7:0] data_out;
+  output data_valid;
+
+  wire clk;
+  wire rst;
+  wire byte_valid;
+  wire [7:0] byte_in;
+  wire correct_en;
+  reg [7:0] data_out;
+  reg data_valid;
+
+  // Two-deep output pipeline so a correction mask can be applied one
+  // byte behind the input stream.
+  reg [7:0] stage1;
+  reg [7:0] stage2;
+  reg [1:0] fill;
+
+  // Asynchronous reset: the paper's RQ3 case study concerns exactly this
+  // block's sensitivity list.
+  always @(posedge clk or posedge rst) begin
+    if (rst == 1'b1) begin
+      stage1 <= 8'h00;
+      stage2 <= 8'h00;
+      fill <= 2'd0;
+      data_out <= 8'h00;
+      data_valid <= 1'b0;
+    end
+    else begin
+      if (byte_valid == 1'b1) begin
+        stage1 <= byte_in;
+        stage2 <= stage1;
+        if (fill < 2'd2) begin
+          fill <= fill + 2'd1;
+          data_valid <= 1'b0;
+        end
+        else begin
+          data_valid <= 1'b1;
+        end
+        if (correct_en == 1'b1) begin
+          data_out <= stage2 ^ 8'h01; // apply the single-bit correction mask
+        end
+        else begin
+          data_out <= stage2;
+        end
+      end
+      else begin
+        data_valid <= 1'b0;
+      end
+    end
+  end
+endmodule
+
+module reed_solomon_decoder(clk, rst, byte_valid, byte_in, correct_en,
+                            synd0, synd1, data_out, data_valid, frame_done,
+                            err_pos, err_found);
+  input clk;
+  input rst;
+  input byte_valid;
+  input [7:0] byte_in;
+  input correct_en;
+  output [7:0] synd0;
+  output [7:0] synd1;
+  output [7:0] data_out;
+  output data_valid;
+  output frame_done;
+  output [7:0] err_pos;
+  output err_found;
+
+  wire clk;
+  wire rst;
+  wire byte_valid;
+  wire [7:0] byte_in;
+  wire correct_en;
+  wire [7:0] synd0;
+  wire [7:0] synd1;
+  wire [7:0] data_out;
+  wire data_valid;
+  reg frame_done;
+  wire [7:0] err_pos;
+  wire err_found;
+
+  wire rst_n;
+  assign rst_n = !rst;
+
+  syndrome_stage synd (
+    .clk(clk),
+    .rst_n(rst_n),
+    .byte_valid(byte_valid),
+    .byte_in(byte_in),
+    .synd0(synd0),
+    .synd1(synd1)
+  );
+
+  out_stage outp (
+    .clk(clk),
+    .rst(rst),
+    .byte_valid(byte_valid),
+    .byte_in(byte_in),
+    .correct_en(correct_en),
+    .data_out(data_out),
+    .data_valid(data_valid)
+  );
+
+  error_locator locator (
+    .clk(clk),
+    .rst(rst),
+    .start(frame_done),
+    .synd0(synd0),
+    .synd1(synd1),
+    .err_pos(err_pos),
+    .err_found(err_found),
+    .searching()
+  );
+
+  // Frame watchdog: a full frame is 500 bytes (the paper's defect makes
+  // this register 8 bits wide, which cannot hold the decimal value 500).
+  reg [9:0] byte_cnt;
+
+  always @(posedge clk) begin
+    if (rst == 1'b1) begin
+      byte_cnt <= 10'd0;
+      frame_done <= 1'b0;
+    end
+    else begin
+      if (byte_valid == 1'b1) begin
+        if (byte_cnt == 10'd500 - 10'd1) begin
+          frame_done <= 1'b1;
+          byte_cnt <= 10'd0;
+        end
+        else begin
+          byte_cnt <= byte_cnt + 10'd1;
+          frame_done <= 1'b0;
+        end
+      end
+      else begin
+        frame_done <= 1'b0;
+      end
+    end
+  end
+endmodule
+
+// Error locator: once a frame's syndromes are known, search for the
+// single-error position p with alpha^p * s0 == s1 by stepping one
+// candidate power per cycle (a bit-serial Chien-style search).
+module error_locator(clk, rst, start, synd0, synd1, err_pos, err_found, searching);
+  input clk;
+  input rst;
+  input start;
+  input [7:0] synd0;
+  input [7:0] synd1;
+  output [7:0] err_pos;
+  output err_found;
+  output searching;
+
+  wire clk;
+  wire rst;
+  wire start;
+  wire [7:0] synd0;
+  wire [7:0] synd1;
+  reg [7:0] err_pos;
+  reg err_found;
+  reg searching;
+
+  reg [7:0] acc;   // alpha^k * synd0
+  reg [7:0] k;
+
+  always @(posedge clk) begin
+    if (rst == 1'b1) begin
+      err_pos <= 8'h00;
+      err_found <= 1'b0;
+      searching <= 1'b0;
+      acc <= 8'h00;
+      k <= 8'h00;
+    end
+    else begin
+      if (start == 1'b1 && searching == 1'b0) begin
+        // A zero syndrome means no correctable single error.
+        if (synd0 != 8'h00) begin
+          acc <= synd0;
+          k <= 8'h00;
+          err_found <= 1'b0;
+          searching <= 1'b1;
+        end
+      end
+      else if (searching == 1'b1) begin
+        if (acc == synd1) begin
+          err_pos <= k;
+          err_found <= 1'b1;
+          searching <= 1'b0;
+        end
+        else if (k == 8'd254) begin
+          err_found <= 1'b0;
+          searching <= 1'b0;
+        end
+        else begin
+          // acc := acc * alpha (xtime with the 0x1D field polynomial)
+          if (acc[7] == 1'b1) begin
+            acc <= {acc[6:0], 1'b0} ^ 8'h1D;
+          end
+          else begin
+            acc <= {acc[6:0], 1'b0};
+          end
+          k <= k + 8'd1;
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,66 @@
+// Validation testbench for the Reed-Solomon decoder front end: gaps in
+// the byte stream, correction toggles, two async reset pulses, and a
+// frame boundary crossed with different payload data.
+module reed_solomon_tb;
+  reg clk, rst, byte_valid, correct_en;
+  reg [7:0] byte_in;
+  wire [7:0] synd0, synd1, data_out;
+  wire data_valid, frame_done;
+
+  reed_solomon_decoder dut (
+    .clk(clk),
+    .rst(rst),
+    .byte_valid(byte_valid),
+    .byte_in(byte_in),
+    .correct_en(correct_en),
+    .synd0(synd0),
+    .synd1(synd1),
+    .data_out(data_out),
+    .data_valid(data_valid),
+    .frame_done(frame_done)
+  );
+
+  initial begin
+    clk = 0;
+    rst = 0;
+    byte_valid = 0;
+    correct_en = 0;
+    byte_in = 8'h00;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    rst = 1;
+    @(negedge clk);
+    rst = 0;
+    @(negedge clk);
+    byte_valid = 1;
+    byte_in = 8'hF3;
+    repeat (20) begin
+      @(negedge clk);
+      byte_in = byte_in + 8'h11;
+    end
+    byte_valid = 0; // gap in the stream
+    repeat (4) @(negedge clk);
+    #1 rst = 1; // async pulse during the gap
+    #2 rst = 0;
+    byte_valid = 1;
+    correct_en = 1;
+    repeat (30) begin
+      @(negedge clk);
+      byte_in = byte_in + 8'h05;
+    end
+    correct_en = 0;
+    #1 rst = 1; // second async pulse while streaming
+    #2 rst = 0;
+    repeat (480) begin
+      @(negedge clk);
+      byte_in = byte_in + 8'h03;
+    end
+    byte_valid = 0;
+    repeat (3) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,194 @@
+// SDRAM memory controller (re-implementation at reduced scale of the
+// sdram_controller core): an init/idle/activate/read-write/precharge FSM
+// with a synchronous reset over the host-interface registers — the block
+// shown in the paper's Figure 3.
+module sdram_controller(clk, rst_n, req, wr, addr_in, data, wr_data,
+                        command, rd_data, busy, done, cmd_history,
+                        protocol_error);
+  input clk;
+  input rst_n;
+  input req;            // host request strobe
+  input wr;             // 1 = write, 0 = read
+  input [7:0] addr_in;  // host address
+  input [7:0] data;     // read-back data bus from the SDRAM array
+  input [7:0] wr_data;  // host write data
+  output [3:0] command; // command pins driven to the SDRAM
+  output [7:0] rd_data; // captured read data for the host
+  output busy;
+  output done;
+  output [15:0] cmd_history;
+  output protocol_error;
+
+  wire clk;
+  wire rst_n;
+  wire req;
+  wire wr;
+  wire [7:0] addr_in;
+  wire [7:0] data;
+  wire [7:0] wr_data;
+  reg [3:0] command;
+  reg [7:0] rd_data;
+  reg busy;
+  reg done;
+  wire [15:0] cmd_history;
+  wire protocol_error;
+
+  parameter HADDR_WIDTH = 8;
+
+  // SDRAM command encodings (CS/RAS/CAS/WE).
+  parameter CMD_NOP       = 4'b0111;
+  parameter CMD_ACTIVE    = 4'b0011;
+  parameter CMD_READ      = 4'b0101;
+  parameter CMD_WRITE     = 4'b0100;
+  parameter CMD_PRECHARGE = 4'b0010;
+
+  // Controller states.
+  parameter INIT_NOP1 = 5'b00000;
+  parameter IDLE      = 5'b00101;
+  parameter ACTIVE    = 5'b01000;
+  parameter RW        = 5'b01101;
+  parameter PRECHG    = 5'b10000;
+
+  reg [4:0] state;
+  reg [3:0] state_cnt;
+  reg [HADDR_WIDTH-1:0] haddr_r;
+
+  cmd_tracer tracer (
+    .clk(clk),
+    .rst_n(rst_n),
+    .command(command),
+    .history(cmd_history),
+    .protocol_error(protocol_error)
+  );
+
+  always @(posedge clk) begin
+    if (~rst_n) begin
+      // Synchronous reset of the host interface (paper Figure 3).
+      state <= INIT_NOP1;
+      command <= CMD_NOP;
+      state_cnt <= 4'hf;
+      haddr_r <= {HADDR_WIDTH{1'b0}};
+      rd_data <= 8'h00;
+      busy <= 1'b0;
+      done <= 1'b0;
+    end
+    else begin
+      case (state)
+        INIT_NOP1: begin
+          // Power-up NOP countdown before the controller becomes ready.
+          command <= CMD_NOP;
+          busy <= 1'b1;
+          if (state_cnt == 4'h0) begin
+            state <= IDLE;
+            busy <= 1'b0;
+          end
+          else begin
+            state_cnt <= state_cnt - 4'h1;
+          end
+        end
+        IDLE: begin
+          command <= CMD_NOP;
+          done <= 1'b0;
+          if (req == 1'b1) begin
+            haddr_r <= addr_in;
+            busy <= 1'b1;
+            command <= CMD_ACTIVE;
+            state_cnt <= 4'h2;
+            state <= ACTIVE;
+          end
+        end
+        ACTIVE: begin
+          // Row-activate latency countdown.
+          command <= CMD_NOP;
+          if (state_cnt == 4'h0) begin
+            if (wr == 1'b1) begin
+              command <= CMD_WRITE;
+            end
+            else begin
+              command <= CMD_READ;
+            end
+            state_cnt <= 4'h3;
+            state <= RW;
+          end
+          else begin
+            state_cnt <= state_cnt - 4'h1;
+          end
+        end
+        RW: begin
+          command <= CMD_NOP;
+          if (wr == 1'b0) begin
+            rd_data <= data; // capture the CAS-latency read burst
+          end
+          if (state_cnt == 4'h0) begin
+            command <= CMD_PRECHARGE;
+            state_cnt <= 4'h1;
+            state <= PRECHG;
+          end
+          else begin
+            state_cnt <= state_cnt - 4'h1;
+          end
+        end
+        PRECHG: begin
+          command <= CMD_NOP;
+          if (state_cnt == 4'h0) begin
+            if (wr == 1'b1) begin
+              rd_data <= 8'h00; // read bus idles at zero after writes
+            end
+            busy <= 1'b0;
+            done <= 1'b1;
+            state <= IDLE;
+          end
+          else begin
+            state_cnt <= state_cnt - 4'h1;
+          end
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+endmodule
+
+// Command-bus tracer: a four-deep history of issued commands plus a
+// same-cycle protocol check (ACTIVE must not follow READ/WRITE without an
+// intervening PRECHARGE).
+module cmd_tracer(clk, rst_n, command, history, protocol_error);
+  input clk;
+  input rst_n;
+  input [3:0] command;
+  output [15:0] history; // four most recent commands, newest in [3:0]
+  output protocol_error;
+
+  wire clk;
+  wire rst_n;
+  wire [3:0] command;
+  reg [15:0] history;
+  reg protocol_error;
+
+  parameter C_NOP       = 4'b0111;
+  parameter C_ACTIVE    = 4'b0011;
+  parameter C_READ      = 4'b0101;
+  parameter C_WRITE     = 4'b0100;
+  parameter C_PRECHARGE = 4'b0010;
+
+  reg [3:0] last_real; // last non-NOP command observed
+
+  always @(posedge clk) begin
+    if (~rst_n) begin
+      history <= {4{C_NOP}};
+      protocol_error <= 1'b0;
+      last_real <= C_NOP;
+    end
+    else begin
+      if (command != history[3:0]) begin
+        history <= {history[11:0], command};
+      end
+      if (command != C_NOP) begin
+        if (command == C_ACTIVE &&
+            (last_real == C_READ || last_real == C_WRITE)) begin
+          protocol_error <= 1'b1;
+        end
+        last_real <= command;
+      end
+    end
+  end
+endmodule

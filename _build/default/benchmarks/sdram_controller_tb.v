@@ -1,0 +1,74 @@
+// Testbench for the SDRAM controller: init countdown, one read and one
+// write transaction, with a reset pulse while a transaction is active.
+module sdram_controller_tb;
+  reg clk, rst_n, req, wr;
+  reg [7:0] addr_in, data, wr_data;
+  wire [3:0] command;
+  wire [7:0] rd_data;
+  wire busy, done;
+
+  sdram_controller dut (
+    .clk(clk),
+    .rst_n(rst_n),
+    .req(req),
+    .wr(wr),
+    .addr_in(addr_in),
+    .data(data),
+    .wr_data(wr_data),
+    .command(command),
+    .rd_data(rd_data),
+    .busy(busy),
+    .done(done)
+  );
+
+  initial begin
+    clk = 0;
+    rst_n = 1;
+    req = 0;
+    wr = 0;
+    addr_in = 8'h00;
+    data = 8'h00;
+    wr_data = 8'h00;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    rst_n = 0;
+    @(negedge clk);
+    rst_n = 1;
+    // Wait out the init countdown.
+    repeat (18) @(negedge clk);
+    // Read transaction: the array returns 0xCE.
+    addr_in = 8'h42;
+    data = 8'hCE;
+    wr = 0;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (12) @(negedge clk);
+    // Write transaction.
+    addr_in = 8'h9A;
+    wr_data = 8'h77;
+    wr = 1;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (6) @(negedge clk);
+    // Reset during the tail of the write.
+    rst_n = 0;
+    @(negedge clk);
+    rst_n = 1;
+    repeat (18) @(negedge clk);
+    // One more read after recovery.
+    addr_in = 8'h11;
+    data = 8'h3B;
+    wr = 0;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (12) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,76 @@
+// Validation testbench for the SDRAM controller: back-to-back requests,
+// a request raised during init (must be ignored until idle), and changing
+// read-bus data mid-burst.
+module sdram_controller_tb;
+  reg clk, rst_n, req, wr;
+  reg [7:0] addr_in, data, wr_data;
+  wire [3:0] command;
+  wire [7:0] rd_data;
+  wire busy, done;
+
+  sdram_controller dut (
+    .clk(clk),
+    .rst_n(rst_n),
+    .req(req),
+    .wr(wr),
+    .addr_in(addr_in),
+    .data(data),
+    .wr_data(wr_data),
+    .command(command),
+    .rd_data(rd_data),
+    .busy(busy),
+    .done(done)
+  );
+
+  initial begin
+    clk = 0;
+    rst_n = 1;
+    req = 0;
+    wr = 0;
+    addr_in = 8'h00;
+    data = 8'h00;
+    wr_data = 8'h00;
+  end
+
+  always #5 clk = !clk;
+
+  initial begin
+    @(negedge clk);
+    rst_n = 0;
+    @(negedge clk);
+    rst_n = 1;
+    // Request during init: the controller must stay in its countdown.
+    addr_in = 8'hF0;
+    wr = 0;
+    req = 1;
+    repeat (4) @(negedge clk);
+    req = 0;
+    repeat (14) @(negedge clk);
+    // Write immediately from idle.
+    addr_in = 8'h05;
+    wr_data = 8'hEE;
+    wr = 1;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (12) @(negedge clk);
+    // Read with the data bus changing during the burst window.
+    addr_in = 8'h60;
+    wr = 0;
+    data = 8'h10;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (4) @(negedge clk);
+    data = 8'h2F;
+    repeat (8) @(negedge clk);
+    // Back-to-back second read.
+    addr_in = 8'h61;
+    data = 8'h99;
+    req = 1;
+    @(negedge clk);
+    req = 0;
+    repeat (12) @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,232 @@
+// Tate bilinear pairing datapath (re-implementation at reduced scale of
+// the tate_pairing elliptic-curve core): a bit-serial GF(2^8) multiplier
+// submodule (reduction polynomial x^8 + x^4 + x^3 + x + 1) driven by a
+// Miller-loop-style accumulate-and-multiply controller.
+module gf_mult(clk, rst_n, start, a, b, p, done);
+  input clk;
+  input rst_n;
+  input start;
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] p;
+  output done;
+
+  wire clk;
+  wire rst_n;
+  wire start;
+  wire [7:0] a;
+  wire [7:0] b;
+  reg [7:0] p;
+  reg done;
+
+  reg [7:0] acc;   // running product
+  reg [7:0] aval;  // shifted multiplicand
+  reg [7:0] bval;  // remaining multiplier bits
+  reg [3:0] cnt;
+  reg running;
+
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      p <= 8'h00;
+      done <= 1'b0;
+      acc <= 8'h00;
+      aval <= 8'h00;
+      bval <= 8'h00;
+      cnt <= 4'd0;
+      running <= 1'b0;
+    end
+    else begin
+      done <= 1'b0;
+      if (start == 1'b1 && running == 1'b0) begin
+        acc <= 8'h00;
+        aval <= a;
+        bval <= b;
+        cnt <= 4'd8;
+        running <= 1'b1;
+      end
+      else if (running == 1'b1) begin
+        if (cnt == 4'd0) begin
+          p <= acc;
+          done <= 1'b1;
+          running <= 1'b0;
+        end
+        else begin
+          // Shift-and-add in GF(2): conditional xor, then xtime with
+          // modular reduction by the field polynomial 0x1B.
+          if (bval[0] == 1'b1) begin
+            acc <= acc ^ aval;
+          end
+          if (aval[7] == 1'b1) begin
+            aval <= {aval[6:0], 1'b0} ^ 8'h1B;
+          end
+          else begin
+            aval <= {aval[6:0], 1'b0};
+          end
+          bval <= {1'b0, bval[7:1]};
+          cnt <= cnt - 4'd1;
+        end
+      end
+    end
+  end
+endmodule
+
+module tate_pairing(clk, rst_n, start, x, y, result, valid, op_cycles);
+  input clk;
+  input rst_n;
+  input start;
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] result;
+  output valid;
+  output [15:0] op_cycles;
+
+  wire clk;
+  wire rst_n;
+  wire start;
+  wire [7:0] x;
+  wire [7:0] y;
+  reg [7:0] result;
+  reg valid;
+  wire [15:0] op_cycles;
+  wire miller_busy;
+
+  parameter LOOP_BITS = 3'd4; // truncated Miller loop length
+
+  parameter T_IDLE   = 3'd0;
+  parameter T_SQUARE = 3'd1;
+  parameter T_WAIT_S = 3'd2;
+  parameter T_MULT   = 3'd3;
+  parameter T_WAIT_M = 3'd4;
+  parameter T_DONE   = 3'd5;
+
+  reg [2:0] tstate;
+  reg [2:0] iter;
+  reg [7:0] f;       // accumulator
+  reg [7:0] g;       // line function value
+  reg mult_start;
+  reg [7:0] op_a;
+  reg [7:0] op_b;
+  wire [7:0] prod;
+  wire mult_done;
+
+  assign miller_busy = (tstate != T_IDLE) ? 1'b1 : 1'b0;
+
+  cycle_counter perf (
+    .clk(clk),
+    .rst_n(rst_n),
+    .busy_level(miller_busy),
+    .latch(valid),
+    .op_cycles(op_cycles)
+  );
+
+  gf_mult mult0 (
+    .clk(clk),
+    .rst_n(rst_n),
+    .start(mult_start),
+    .a(op_a),
+    .b(op_b),
+    .p(prod),
+    .done(mult_done)
+  );
+
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      tstate <= T_IDLE;
+      iter <= 3'd0;
+      f <= 8'h01;
+      g <= 8'h00;
+      result <= 8'h00;
+      valid <= 1'b0;
+      mult_start <= 1'b0;
+      op_a <= 8'h00;
+      op_b <= 8'h00;
+    end
+    else begin
+      mult_start <= 1'b0;
+      case (tstate)
+        T_IDLE: begin
+          valid <= 1'b0;
+          if (start == 1'b1) begin
+            f <= 8'h01;
+            g <= x ^ (y << 1);
+            iter <= 3'd0;
+            tstate <= T_SQUARE;
+          end
+        end
+        T_SQUARE: begin
+          // f := f * f in GF(2^8).
+          op_a <= f;
+          op_b <= f;
+          mult_start <= 1'b1;
+          tstate <= T_WAIT_S;
+        end
+        T_WAIT_S: begin
+          if (mult_done == 1'b1) begin
+            f <= prod;
+            tstate <= T_MULT;
+          end
+        end
+        T_MULT: begin
+          // f := f * g, with the line value evolving per iteration.
+          op_a <= f;
+          op_b <= g;
+          mult_start <= 1'b1;
+          tstate <= T_WAIT_M;
+        end
+        T_WAIT_M: begin
+          if (mult_done == 1'b1) begin
+            f <= prod;
+            g <= {g[6:0], 1'b0} ^ x;
+            if (iter == LOOP_BITS - 3'd1) begin
+              tstate <= T_DONE;
+            end
+            else begin
+              iter <= iter + 3'd1;
+              tstate <= T_SQUARE;
+            end
+          end
+        end
+        T_DONE: begin
+          result <= f;
+          valid <= 1'b1;
+          tstate <= T_IDLE;
+        end
+        default: tstate <= T_IDLE;
+      endcase
+    end
+  end
+endmodule
+
+// Performance counter: cycles spent inside the Miller loop per pairing,
+// latched into op_cycles when the result goes valid.
+module cycle_counter(clk, rst_n, busy_level, latch, op_cycles);
+  input clk;
+  input rst_n;
+  input busy_level; // high while the pairing datapath is active
+  input latch;      // capture the count (result valid)
+  output [15:0] op_cycles;
+
+  wire clk;
+  wire rst_n;
+  wire busy_level;
+  wire latch;
+  reg [15:0] op_cycles;
+
+  reg [15:0] running;
+
+  always @(posedge clk) begin
+    if (rst_n == 1'b0) begin
+      op_cycles <= 16'd0;
+      running <= 16'd0;
+    end
+    else begin
+      if (latch == 1'b1) begin
+        op_cycles <= running;
+        running <= 16'd0;
+      end
+      else if (busy_level == 1'b1) begin
+        running <= running + 16'd1;
+      end
+    end
+  end
+endmodule

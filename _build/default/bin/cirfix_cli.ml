@@ -1,0 +1,379 @@
+(* The cirfix command-line tool.
+
+     cirfix simulate  --design d.v --testbench tb.v --top tb --clock tb.clk --dut tb.dut
+     cirfix oracle    --design golden.v --testbench tb.v ...      > oracle.csv
+     cirfix localize  --design faulty.v --golden golden.v --testbench tb.v ...
+     cirfix repair    --design faulty.v --golden golden.v --testbench tb.v ... [GP flags]
+     cirfix scenarios [--id N] [--dump-faulty]
+
+   Mirrors the paper artifact's repair.py driver, with the benchmark suite
+   built in. *)
+
+open Cmdliner
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error e -> Error e
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+(* --- Common options ------------------------------------------------------ *)
+
+let design_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "design"; "d" ] ~docv:"FILE" ~doc:"Verilog design under test.")
+
+let golden_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "golden"; "g" ] ~docv:"FILE"
+        ~doc:"Previously-functioning (golden) version of the design, used to\n\
+              derive the expected-behaviour oracle.")
+
+let testbench_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "testbench"; "t" ] ~docv:"FILE" ~doc:"Testbench source.")
+
+let top_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "top" ] ~docv:"MODULE" ~doc:"Top (testbench) module to elaborate.")
+
+let clock_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "clock" ] ~docv:"PATH"
+        ~doc:"Qualified clock signal, e.g. counter_tb.clk.")
+
+let dut_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dut" ] ~docv:"PATH"
+        ~doc:"Qualified DUT instance path, e.g. counter_tb.dut.")
+
+let target_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "target" ] ~docv:"MODULE" ~doc:"Module under repair.")
+
+let spec_of top clock dut : Sim.Simulate.spec = { top; clock; dut_path = dut }
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let simulate design testbench top clock dut show_display show_wave vcd_path =
+  let d = or_die (read_file design) and tb = or_die (read_file testbench) in
+  (* When dumping waveforms we drive the engine directly so the VCD
+     observer can be attached before time 0. *)
+  (match vcd_path with
+  | None -> ()
+  | Some path -> (
+      match Verilog.Parser.parse_design_result (d ^ "\n" ^ tb) with
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+      | Ok parsed ->
+          let elab = Sim.Elaborate.elaborate parsed ~top in
+          let vcd = Sim.Vcd.attach elab.st in
+          ignore (Sim.Engine.run elab);
+          Sim.Vcd.to_file vcd path;
+          Printf.printf "waveform written to %s\n" path));
+  match
+    Sim.Simulate.run_source ~source:(d ^ "\n" ^ tb) (spec_of top clock dut)
+  with
+  | Error (Sim.Simulate.Elab_failure m) ->
+      Printf.eprintf "elaboration failed: %s\n" m;
+      exit 1
+  | Ok r ->
+      Printf.printf "outcome: %s (t=%d, %d statements)\n"
+        (match r.outcome with
+        | Sim.Engine.Finished -> "$finish"
+        | Sim.Engine.Quiescent -> "event queue drained"
+        | Sim.Engine.Time_limit_reached -> "time limit"
+        | Sim.Engine.Budget_exceeded m -> "budget exceeded: " ^ m)
+        r.end_time r.steps;
+      if show_display && r.display <> "" then (
+        print_endline "--- $display output ---";
+        print_string r.display);
+      print_endline "--- recorded trace ---";
+      print_string (Sim.Recorder.to_string r.trace);
+      if show_wave then (
+        print_endline "--- waveform ---";
+        print_string (Sim.Wave.render r.trace))
+
+let simulate_cmd =
+  let doc = "Simulate a design under its testbench and print the recorded trace." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ design_arg $ testbench_arg $ top_arg $ clock_arg
+      $ dut_arg
+      $ Arg.(value & flag & info [ "display" ] ~doc:"Show \\$display output.")
+      $ Arg.(value & flag & info [ "wave" ] ~doc:"Render an ASCII waveform.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "vcd" ] ~docv:"FILE" ~doc:"Also dump a VCD waveform."))
+
+(* --- oracle ----------------------------------------------------------------- *)
+
+let oracle design testbench top clock dut =
+  let d = or_die (read_file design) and tb = or_die (read_file testbench) in
+  let parsed =
+    match Verilog.Parser.parse_design_result (d ^ "\n" ^ tb) with
+    | Ok x -> x
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+  in
+  let tr = Cirfix.Oracle.of_golden_design parsed (spec_of top clock dut) in
+  print_string (Cirfix.Oracle.to_csv tr)
+
+let oracle_cmd =
+  let doc =
+    "Simulate a golden design and emit the expected-behaviour oracle as CSV."
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc)
+    Term.(const oracle $ design_arg $ testbench_arg $ top_arg $ clock_arg $ dut_arg)
+
+(* --- localize ----------------------------------------------------------------- *)
+
+let localize design golden testbench target top clock dut =
+  let faulty = or_die (read_file design)
+  and golden_src = or_die (read_file golden)
+  and tb = or_die (read_file testbench) in
+  let problem =
+    Cirfix.Problem.make ~name:"cli" ~faulty ~golden:golden_src ~testbench:tb
+      ~target (spec_of top clock dut)
+  in
+  let ev = Cirfix.Evaluate.create Cirfix.Config.default problem in
+  let m = Cirfix.Problem.target_module problem in
+  let o = Cirfix.Evaluate.eval_module ev m in
+  let mismatch =
+    Cirfix.Fitness.mismatched_signals ~expected:problem.oracle ~actual:o.trace
+  in
+  Printf.printf "fitness of the faulty design: %.4f\n" o.fitness;
+  Printf.printf "output mismatch set: %s\n" (String.concat ", " mismatch);
+  let r = Cirfix.Fault_loc.localize m ~mismatch in
+  Printf.printf "transitive mismatch set: %s\n"
+    (String.concat ", " (Cirfix.Fault_loc.NameSet.elements r.mismatch));
+  Printf.printf "fixed point reached after %d iterations\n" r.iterations;
+  Printf.printf "implicated statements (%d nodes total):\n"
+    (Cirfix.Fault_loc.IdSet.cardinal r.fl);
+  List.iter
+    (fun (s : Verilog.Ast.stmt) ->
+      Printf.printf "  [%d] %s\n" s.Verilog.Ast.sid
+        (String.map
+           (function '\n' -> ' ' | c -> c)
+           (Verilog.Pp.stmt_to_string s)))
+    (Cirfix.Fault_loc.fl_statements m r)
+
+let localize_cmd =
+  let doc = "Run CirFix's dataflow fault localization on a faulty design." in
+  Cmd.v
+    (Cmd.info "localize" ~doc)
+    Term.(
+      const localize $ design_arg $ golden_arg $ testbench_arg $ target_arg
+      $ top_arg $ clock_arg $ dut_arg)
+
+(* --- repair ----------------------------------------------------------------- *)
+
+let repair design golden testbench target top clock dut seed pop_size
+    generations max_probes wall output =
+  let faulty = or_die (read_file design)
+  and golden_src = or_die (read_file golden)
+  and tb = or_die (read_file testbench) in
+  let problem =
+    Cirfix.Problem.make ~name:"cli" ~faulty ~golden:golden_src ~testbench:tb
+      ~target (spec_of top clock dut)
+  in
+  let cfg =
+    {
+      Cirfix.Config.default with
+      seed;
+      pop_size;
+      max_generations = generations;
+      max_probes;
+      max_wall_seconds = wall;
+    }
+  in
+  let on_generation (g : Cirfix.Gp.generation_stats) =
+    Printf.eprintf "gen %2d: best %.3f mean %.3f (%d probes)\n%!" g.gen
+      g.best_fitness g.mean_fitness g.probes_so_far
+  in
+  let r = Cirfix.Gp.repair ~on_generation cfg problem in
+  Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
+  Printf.printf "probes: %d, mutants: %d, compile errors: %d, wall: %.1fs\n"
+    r.probes r.mutants_generated r.compile_errors r.wall_seconds;
+  match (r.minimized, r.repaired_module) with
+  | Some patch, Some m ->
+      Printf.printf "REPAIRED (minimized to %d edits):\n  %s\n"
+        (List.length patch)
+        (Cirfix.Patch.to_string patch);
+      let src = Verilog.Pp.module_to_string m in
+      (match output with
+      | Some path ->
+          Out_channel.with_open_text path (fun oc -> output_string oc src);
+          Printf.printf "repaired module written to %s\n" path
+      | None ->
+          print_endline "--- repaired module ---";
+          print_endline src)
+  | _ ->
+      print_endline "no repair found within the resource bounds";
+      exit 2
+
+let repair_cmd =
+  let doc = "Search for a repair to a faulty design (Algorithm 1)." in
+  Cmd.v
+    (Cmd.info "repair" ~doc)
+    Term.(
+      const repair $ design_arg $ golden_arg $ testbench_arg $ target_arg
+      $ top_arg $ clock_arg $ dut_arg
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+      $ Arg.(value & opt int 60 & info [ "pop-size" ] ~doc:"Population size.")
+      $ Arg.(value & opt int 40 & info [ "generations" ] ~doc:"Max generations.")
+      $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
+      $ Arg.(value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "output"; "o" ] ~docv:"FILE"
+              ~doc:"Write the repaired module here."))
+
+(* --- coverage ---------------------------------------------------------------------- *)
+
+let coverage design testbench top =
+  let d = or_die (read_file design) and tb = or_die (read_file testbench) in
+  match Verilog.Parser.parse_design_result (d ^ "\n" ^ tb) with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  | Ok parsed ->
+      let elab = Sim.Elaborate.elaborate parsed ~top in
+      Sim.Runtime.enable_coverage elab.st;
+      ignore (Sim.Engine.run elab);
+      (* Report only the design's modules, not the testbench. *)
+      let design_mods =
+        match Verilog.Parser.parse_design_result d with
+        | Ok mods -> List.map (fun (m : Verilog.Ast.module_decl) -> m.mod_id) mods
+        | Error _ -> []
+      in
+      List.iter
+        (fun (r : Sim.Coverage.module_report) ->
+          if List.mem r.mr_module design_mods then
+            Format.printf "%a" Sim.Coverage.pp r)
+        (Sim.Coverage.report elab.st parsed)
+
+let coverage_cmd =
+  let doc = "Report statement coverage of a design under its testbench." in
+  Cmd.v
+    (Cmd.info "coverage" ~doc)
+    Term.(const coverage $ design_arg $ testbench_arg $ top_arg)
+
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint files =
+  let total_errors = ref 0 in
+  List.iter
+    (fun path ->
+      let src = or_die (read_file path) in
+      match Verilog.Parser.parse_design_result src with
+      | Error e ->
+          Printf.printf "%s: parse error: %s\n" path e;
+          incr total_errors
+      | Ok design ->
+          List.iter
+            (fun (mod_name, findings) ->
+              List.iter
+                (fun (f : Verilog.Lint.finding) ->
+                  if f.severity = Verilog.Lint.Error then incr total_errors;
+                  Format.printf "%s: %s: %a@." path mod_name
+                    Verilog.Lint.pp_finding f)
+                findings)
+            (Verilog.Lint.check_design design))
+    files;
+  if !total_errors > 0 then exit 1
+
+let lint_cmd =
+  let doc =
+    "Run synthesizability/style checks (latch inference, incomplete\n\
+     sensitivity lists, blocking/non-blocking misuse, multiple drivers)."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const lint
+      $ Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Verilog files."))
+
+(* --- scenarios ------------------------------------------------------------------ *)
+
+let scenarios id dump run_it trials =
+  let selected =
+    match id with
+    | Some n -> [ Bench_suite.Defects.find n ]
+    | None -> Bench_suite.Defects.all
+  in
+  List.iter
+    (fun (d : Bench_suite.Defects.t) ->
+      Printf.printf "#%-3d %-22s cat%d  %s\n" d.id d.project d.category
+        d.description;
+      if dump then (
+        print_endline "--- faulty source ---";
+        print_endline (Bench_suite.Defects.inject d));
+      if run_it then (
+        let cfg = Bench_suite.Runner.scenario_config d in
+        let s = Bench_suite.Runner.run_defect ~cfg ~trials d in
+        Printf.printf "  result: %s (%.1fs, %d probes)\n"
+          (if s.correct then "correct repair"
+           else if s.repaired then "plausible repair"
+           else "no repair")
+          s.total_seconds s.probes;
+        match s.patch with
+        | Some p -> Printf.printf "  patch: %s\n" (Cirfix.Patch.to_string p)
+        | None -> ()))
+    selected
+
+let scenarios_cmd =
+  let doc = "List, dump, or run the 32 benchmark defect scenarios (Table 3)." in
+  Cmd.v
+    (Cmd.info "scenarios" ~doc)
+    Term.(
+      const scenarios
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "id" ] ~docv:"N" ~doc:"Only scenario N (1..32).")
+      $ Arg.(value & flag & info [ "dump-faulty" ] ~doc:"Print the faulty source.")
+      $ Arg.(value & flag & info [ "run" ] ~doc:"Run CirFix on the scenario(s).")
+      $ Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Trials per scenario."))
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "automated repair of defects in Verilog hardware designs" in
+  let info = Cmd.info "cirfix" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd;
+            oracle_cmd;
+            localize_cmd;
+            repair_cmd;
+            scenarios_cmd;
+            lint_cmd;
+            coverage_cmd;
+          ]))

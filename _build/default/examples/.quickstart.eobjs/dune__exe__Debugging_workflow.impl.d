@@ -1,0 +1,1 @@
+examples/debugging_workflow.ml: Bench_suite Cirfix Filename Format List Printf Sim Verilog

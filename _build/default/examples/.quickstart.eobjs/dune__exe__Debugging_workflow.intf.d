@@ -1,0 +1,1 @@
+examples/debugging_workflow.mli:

@@ -1,0 +1,1 @@
+examples/fault_localization_demo.ml: Cirfix Corpus List Printf String Verilog

@@ -1,0 +1,1 @@
+examples/oracle_sensitivity.ml: Bench_suite Cirfix List Option Printf

@@ -1,0 +1,1 @@
+examples/oracle_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cirfix Corpus List Printf Sim Str String Verilog

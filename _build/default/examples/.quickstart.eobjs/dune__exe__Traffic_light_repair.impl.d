@@ -1,0 +1,1 @@
+examples/traffic_light_repair.ml: Cirfix List Logic4 Printf Sim Str Verilog

@@ -1,0 +1,1 @@
+lib/bench_suite/defects.ml: Cirfix List Printf Projects Sim String Verilog

@@ -1,0 +1,1 @@
+lib/bench_suite/projects.ml: Corpus List Sim String

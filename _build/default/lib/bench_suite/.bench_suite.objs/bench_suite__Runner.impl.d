@@ -1,0 +1,1 @@
+lib/bench_suite/runner.ml: Cirfix Defects List Option Verilog

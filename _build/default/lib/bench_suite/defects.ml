@@ -1,0 +1,274 @@
+(* The 32 defect scenarios (paper Table 3): each row names its project, the
+   paper's defect description and category, the paper's reported repair
+   result, and the concrete source-level transplant that reproduces the
+   described defect in our re-implementation. Transplants are exact
+   substring rewrites of the golden design and are checked to apply. *)
+
+type paper_result = {
+  repair_time : float option; (* Table 3 "Repair Time (s)"; None = no repair *)
+  correct : bool; (* Table 3 checkmark *)
+}
+
+type t = {
+  id : int; (* 1..32, Table 3 row order *)
+  project : string;
+  description : string;
+  category : int; (* 1 = easy, 2 = hard *)
+  target : string; (* module under repair *)
+  rewrites : (string * string) list; (* old -> new, each must apply once *)
+  paper : paper_result;
+}
+
+exception Inject_error of string
+
+(* Replace the first occurrence of [old_s]; raise if absent. *)
+let replace_once ~defect (src : string) (old_s, new_s) : string =
+  let n = String.length src and m = String.length old_s in
+  let rec find i =
+    if i + m > n then
+      raise
+        (Inject_error
+           (Printf.sprintf "defect %d: pattern not found: %s" defect old_s))
+    else if String.sub src i m = old_s then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub src 0 i ^ new_s ^ String.sub src (i + m) (n - i - m)
+
+(* Faulty design source for a scenario. *)
+let inject (d : t) : string =
+  let golden = Projects.design_source (Projects.find d.project) in
+  let faulty =
+    List.fold_left (fun src rw -> replace_once ~defect:d.id src rw) golden
+      d.rewrites
+  in
+  if faulty = golden then
+    raise (Inject_error (Printf.sprintf "defect %d: no-op transplant" d.id));
+  faulty
+
+let mk id project description category ?target rewrites ~time ~correct =
+  {
+    id;
+    project;
+    description;
+    category;
+    target =
+      (match target with
+      | Some t -> t
+      | None -> (Projects.find project).Projects.target);
+    rewrites;
+    paper = { repair_time = time; correct };
+  }
+
+let all : t list =
+  [
+    (* ---- decoder_3_to_8 ---- *)
+    mk 1 "decoder_3_to_8" "Two separate numeric errors" 1
+      [
+        ("3'b010: y = 8'b00000100;", "3'b010: y = 8'b00000101;");
+        ("3'b101: y = 8'b00100000;", "3'b101: y = 8'b00011111;");
+      ]
+      ~time:(Some 13984.3) ~correct:true;
+    mk 2 "decoder_3_to_8" "Incorrect assignment" 2
+      [ ("3'b011: y = 8'b00001000;", "3'b011: y = {a, 5'b00000};") ]
+      ~time:None ~correct:false;
+    (* ---- counter ---- *)
+    mk 3 "counter" "Incorrect sensitivity list" 1
+      [ ("always @(posedge clk)", "always @(negedge clk)") ]
+      ~time:(Some 19.8) ~correct:true;
+    mk 4 "counter" "Incorrect reset" 1
+      [ ("overflow_out <= #1 1'b0;", "") ]
+      ~time:(Some 32239.2) ~correct:true;
+    mk 5 "counter" "Incorrect incremental of counter" 1
+      [ ("counter_out <= #1 counter_out + 1;",
+         "counter_out <= #1 counter_out + 2;") ]
+      ~time:(Some 27781.3) ~correct:true;
+    (* ---- flip_flop ---- *)
+    mk 6 "flip_flop" "Incorrect conditional" 1
+      [ ("if (t == 1'b1) begin", "if (t == 1'b0) begin") ]
+      ~time:(Some 7.8) ~correct:true;
+    mk 7 "flip_flop" "Branches of if-statement swapped" 1
+      [
+        ( "    if (reset == 1'b1) begin\n\
+          \      q <= 1'b0;\n\
+          \    end\n\
+          \    else begin\n\
+          \      if (t == 1'b1) begin\n\
+          \        q <= !q;\n\
+          \      end\n\
+          \      else begin\n\
+          \        q <= q;\n\
+          \      end\n\
+          \    end",
+          "    if (reset == 1'b1) begin\n\
+          \      if (t == 1'b1) begin\n\
+          \        q <= !q;\n\
+          \      end\n\
+          \      else begin\n\
+          \        q <= q;\n\
+          \      end\n\
+          \    end\n\
+          \    else begin\n\
+          \      q <= 1'b0;\n\
+          \    end" );
+      ]
+      ~time:(Some 923.5) ~correct:true;
+    (* ---- fsm_full ---- *)
+    mk 8 "fsm_full" "Incorrect case statement" 1
+      [ ("      GNT0: begin", "      3'b110: begin") ]
+      ~time:None ~correct:false;
+    mk 9 "fsm_full" "Incorrectly blocking assignments" 1
+      [
+        ("    next_state = state;\n    gnt_0 = 1'b0;\n    gnt_1 = 1'b0;",
+         "    next_state <= state;\n    gnt_0 <= 1'b0;\n    gnt_1 <= 1'b0;");
+      ]
+      ~time:(Some 4282.2) ~correct:false;
+    mk 10 "fsm_full"
+      "Assignment to next state and default in case statement omitted" 2
+      [
+        ("          next_state = GNT0;\n", "");
+        ("      default: next_state = IDLE;\n", "");
+      ]
+      ~time:(Some 1536.4) ~correct:false;
+    mk 11 "fsm_full"
+      "Assignment to next state omitted, incorrect sensitivity list" 2
+      [
+        ("    next_state = state;\n", "");
+        ("always @(state or req_0 or req_1)", "always @(state)");
+      ]
+      ~time:(Some 37.0) ~correct:true;
+    (* ---- lshift_reg ---- *)
+    mk 12 "lshift_reg" "Incorrect blocking assignment" 1
+      [ ("op <= {op[6:0], op[7]};", "op = {op[6:0], op[7]};") ]
+      ~time:(Some 14.6) ~correct:true;
+    mk 13 "lshift_reg" "Incorrect conditional" 1
+      [ ("if (load_en == 1'b1) begin", "if (load_en != 1'b1) begin") ]
+      ~time:(Some 33.74) ~correct:true;
+    mk 14 "lshift_reg" "Incorrect sensitivity list" 1
+      [ ("always @(posedge clk)", "always @(posedge clk or posedge load_en)") ]
+      ~time:(Some 7.8) ~correct:true;
+    (* ---- mux_4_1 ---- *)
+    mk 15 "mux_4_1" "1 bit instead of 4 bit output" 1
+      [
+        ("output [3:0] y;", "output y;");
+        ("reg [3:0] y;", "reg y;");
+      ]
+      ~time:None ~correct:false;
+    mk 16 "mux_4_1" "Hex instead of binary constants" 1
+      [
+        ("4'b0100: y = c;", "4'h0100: y = c;");
+        ("4'b1000: y = d;", "4'h1000: y = d;");
+      ]
+      ~time:(Some 10315.4) ~correct:false;
+    mk 17 "mux_4_1" "Three separate numeric errors" 2
+      [
+        ("4'b0001: y = a;", "4'b0000: y = a;");
+        ("4'b0010: y = b;", "4'b0011: y = b;");
+        ("default: y = 4'b0000;", "default: y = 4'b0001;");
+      ]
+      ~time:(Some 15387.9) ~correct:false;
+    (* ---- i2c ---- *)
+    mk 18 "i2c" "Incorrect sensitivity list" 2
+      [ ("always @(posedge clk)", "always @(posedge clk or negedge clk)") ]
+      ~time:(Some 183.0) ~correct:true;
+    mk 19 "i2c" "Incorrect address assignment" 2
+      [ ("shift <= {addr, rw};", "shift <= {addr, 1'b0};") ]
+      ~time:(Some 57.9) ~correct:false;
+    mk 20 "i2c" "No command acknowledgement" 2
+      [ ("          done <= 1'b1;\n", "") ]
+      ~time:(Some 1560.5) ~correct:true;
+    (* ---- sha3 ---- *)
+    mk 21 "sha3" "Off-by-one error in loop" 1
+      [ ("if (rnd == NUM_ROUNDS - 5'd1)", "if (rnd == NUM_ROUNDS - 5'd2)") ]
+      ~time:(Some 50.4) ~correct:true;
+    mk 22 "sha3" "Incorrect bitwise negation" 1
+      [ ("(~lane1 & lane2)", "(lane1 & lane2)") ]
+      ~time:None ~correct:false;
+    mk 23 "sha3" "Incorrect assignment to wires" 2
+      [ ("digest <= lane0 ^ lane1;", "digest <= lane0 ^ lane0;") ]
+      ~time:None ~correct:false;
+    mk 24 "sha3" "Skipped buffer overflow check" 2
+      [ ("if (wr_ptr < 3'd4)", "if (wr_ptr <= 3'd4)") ]
+      ~time:(Some 50.0) ~correct:true;
+    (* ---- tate_pairing ---- *)
+    mk 25 "tate_pairing" "Incorrect logic for bitshifting" 1 ~target:"gf_mult"
+      [
+        ("aval <= {aval[6:0], 1'b0} ^ 8'h1B;",
+         "aval <= {1'b0, aval[7:1]} ^ 8'h1B;");
+        ("aval <= {aval[6:0], 1'b0};", "aval <= {1'b0, aval[7:1]};");
+      ]
+      ~time:None ~correct:false;
+    mk 26 "tate_pairing" "Incorrect operator for bitshifting" 1
+      [ ("g <= x ^ (y << 1);", "g <= x ^ (y >> 1);") ]
+      ~time:None ~correct:false;
+    mk 27 "tate_pairing" "Incorrect instantiation of modules" 2
+      [
+        (".start(mult_start),\n    .a(op_a),",
+         ".start(op_a),\n    .a(mult_start),");
+      ]
+      ~time:None ~correct:false;
+    (* ---- reed_solomon_decoder ---- *)
+    mk 28 "reed_solomon_decoder"
+      "Insufficient register size for decimal values" 1
+      [ ("reg [9:0] byte_cnt;", "reg [7:0] byte_cnt;") ]
+      ~time:None ~correct:false;
+    mk 29 "reed_solomon_decoder" "Incorrect sensitivity list for reset" 2
+      ~target:"out_stage"
+      [ ("always @(posedge clk or posedge rst)", "always @(posedge clk)") ]
+      ~time:(Some 28547.8) ~correct:true;
+    (* ---- sdram_controller ---- *)
+    mk 30 "sdram_controller" "Numeric error in definitions" 1
+      [ ("parameter CMD_ACTIVE    = 4'b0011;",
+         "parameter CMD_ACTIVE    = 4'b0001;") ]
+      ~time:None ~correct:false;
+    mk 31 "sdram_controller" "Incorrect case statement" 2
+      [ ("        PRECHG: begin", "        5'b11011: begin") ]
+      ~time:None ~correct:false;
+    mk 32 "sdram_controller"
+      "Incorrect assignments to registers during synchronous reset" 2
+      [
+        ("      rd_data <= 8'h00;\n      busy <= 1'b0;\n      done <= 1'b0;",
+         "      rd_data <= data;\n      done <= 1'b0;");
+      ]
+      ~time:(Some 16607.6) ~correct:true;
+  ]
+
+let find id =
+  match List.find_opt (fun d -> d.id = id) all with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Defects.find: no defect %d" id)
+
+(* Build the repair problem for a scenario: faulty design + instrumented
+   testbench, oracle from the golden design. *)
+let problem (d : t) : Cirfix.Problem.t =
+  let p = Projects.find d.project in
+  Cirfix.Problem.make
+    ~name:(Printf.sprintf "%s#%d" d.project d.id)
+    ~faulty:(inject d)
+    ~golden:(Projects.design_source p)
+    ~testbench:(Projects.tb_source p)
+    ~target:d.target (Projects.spec p)
+
+(* Held-out validation problem (same defect, validation testbench) used to
+   classify plausible repairs as correct vs. overfitting. *)
+let validation_problem (d : t) : Cirfix.Problem.t =
+  let p = Projects.find d.project in
+  Cirfix.Problem.make
+    ~name:(Printf.sprintf "%s#%d-validation" d.project d.id)
+    ~faulty:(inject d)
+    ~golden:(Projects.design_source p)
+    ~testbench:(Projects.tb2_source p)
+    ~target:d.target (Projects.spec p)
+
+(* A repaired module is deemed CORRECT when it also attains fitness 1.0 on
+   the held-out validation testbench; plausible-only repairs overfit the
+   repair testbench (paper Sec. 5.1 "Repair Quality"). *)
+let is_correct (d : t) (repaired : Verilog.Ast.module_decl) : bool =
+  let vp = validation_problem d in
+  let design = Cirfix.Problem.with_candidate vp repaired in
+  match Sim.Simulate.run design vp.spec with
+  | Error _ -> false
+  | Ok r ->
+      Cirfix.Fitness.fitness ~phi:Cirfix.Config.default.phi ~expected:vp.oracle
+        ~actual:r.trace
+      >= 1.0

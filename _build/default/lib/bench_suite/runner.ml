@@ -1,0 +1,90 @@
+(* Trial orchestration for the evaluation harness: run CirFix on a defect
+   scenario for up to N independent seeded trials (the paper runs 5),
+   stopping at the first plausible repair, then classify the repair as
+   correct vs. testbench-overfitting on the held-out validation bench. *)
+
+type trial_summary = {
+  defect : Defects.t;
+  repaired : bool;
+  correct : bool; (* plausible and passes the validation testbench *)
+  seconds : float; (* wall time of the successful trial (or total) *)
+  total_seconds : float; (* across all trials run *)
+  probes : int; (* fitness evaluations across all trials *)
+  edits : int; (* minimized patch size; 0 when unrepaired *)
+  trials_run : int;
+  winning_seed : int option;
+  patch : Cirfix.Patch.t option;
+  repaired_module : Verilog.Ast.module_decl option;
+  generations : Cirfix.Gp.generation_stats list; (* of the winning trial *)
+  initial_fitness : float;
+}
+
+let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
+    ?(on_trial : (int -> unit) option) (d : Defects.t) : trial_summary =
+  let problem = Defects.problem d in
+  let rec go seed ~total_probes ~total_seconds ~initial_fitness =
+    if seed > trials then
+      {
+        defect = d;
+        repaired = false;
+        correct = false;
+        seconds = total_seconds;
+        total_seconds;
+        probes = total_probes;
+        edits = 0;
+        trials_run = trials;
+        winning_seed = None;
+        patch = None;
+        repaired_module = None;
+        generations = [];
+        initial_fitness;
+      }
+    else (
+      Option.iter (fun f -> f seed) on_trial;
+      let r = Cirfix.Gp.repair { cfg with seed } problem in
+      let total_probes = total_probes + r.probes in
+      let total_seconds = total_seconds +. r.wall_seconds in
+      match (r.minimized, r.repaired_module) with
+      | Some patch, Some m ->
+          {
+            defect = d;
+            repaired = true;
+            correct = Defects.is_correct d m;
+            seconds = r.wall_seconds;
+            total_seconds;
+            probes = total_probes;
+            edits = List.length patch;
+            trials_run = seed;
+            winning_seed = Some seed;
+            patch = Some patch;
+            repaired_module = Some m;
+            generations = r.generations;
+            initial_fitness = r.initial_fitness;
+          }
+      | _ ->
+          go (seed + 1) ~total_probes ~total_seconds
+            ~initial_fitness:r.initial_fitness)
+  in
+  go 1 ~total_probes:0 ~total_seconds:0. ~initial_fitness:0.
+
+(* Resource presets: larger projects get a longer leash, mirroring the
+   paper's uniform 12-hour bound scaled to our in-process simulator. *)
+let scenario_config ?(budget_scale = 1.0) (d : Defects.t) : Cirfix.Config.t =
+  let base = Cirfix.Config.default in
+  let heavy =
+    match d.project with
+    | "reed_solomon_decoder" | "tate_pairing" -> true
+    | _ -> false
+  in
+  {
+    base with
+    (* A wide first generation matters: generation 1 sweeps single edits
+       around the original (the paper runs popSize = 5000). Duplicate
+       candidates hit the evaluation cache, so large populations are cheap
+       on small designs. *)
+    pop_size = (if heavy then 120 else 500);
+    max_generations = 12;
+    max_probes =
+      int_of_float (budget_scale *. float_of_int (if heavy then 2_500 else 10_000));
+    max_wall_seconds = budget_scale *. (if heavy then 120.0 else 60.0);
+  }

@@ -1,0 +1,1 @@
+lib/cirfix/brute_force.ml: Config Evaluate Fault_loc Fix_loc List Patch Problem Templates Unix Verilog

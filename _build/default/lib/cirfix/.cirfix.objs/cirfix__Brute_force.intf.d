@@ -1,0 +1,1 @@
+lib/cirfix/brute_force.mli: Config Patch Problem Verilog

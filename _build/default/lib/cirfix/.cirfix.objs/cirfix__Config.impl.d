@@ -1,0 +1,1 @@
+lib/cirfix/config.ml:

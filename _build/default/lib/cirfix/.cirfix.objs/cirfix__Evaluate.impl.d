@@ -1,0 +1,1 @@
+lib/cirfix/evaluate.ml: Config Digest Fitness Hashtbl Patch Problem Sim Verilog

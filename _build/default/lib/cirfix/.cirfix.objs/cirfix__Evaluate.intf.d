@@ -1,0 +1,1 @@
+lib/cirfix/evaluate.mli: Config Hashtbl Patch Problem Sim Verilog

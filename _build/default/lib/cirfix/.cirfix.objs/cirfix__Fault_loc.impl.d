@@ -1,0 +1,1 @@
+lib/cirfix/fault_loc.ml: Int List Set String Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/fault_loc.mli: Set Verilog

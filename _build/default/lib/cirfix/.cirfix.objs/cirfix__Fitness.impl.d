@@ -1,0 +1,1 @@
+lib/cirfix/fitness.ml: Bit Float Hashtbl List Logic4 Option Sim Vec

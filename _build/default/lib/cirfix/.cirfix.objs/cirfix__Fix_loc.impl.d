@@ -1,0 +1,1 @@
+lib/cirfix/fix_loc.ml: List Verilog

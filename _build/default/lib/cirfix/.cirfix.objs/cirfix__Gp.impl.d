@@ -1,0 +1,1 @@
+lib/cirfix/gp.ml: Array Config Evaluate Fault_loc Fitness Float List Minimize Mutate Option Patch Problem Random Unix Verilog

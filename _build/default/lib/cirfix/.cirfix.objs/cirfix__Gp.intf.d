@@ -1,0 +1,1 @@
+lib/cirfix/gp.mli: Config Evaluate Patch Problem Verilog

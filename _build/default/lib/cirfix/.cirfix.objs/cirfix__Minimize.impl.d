@@ -1,0 +1,1 @@
+lib/cirfix/minimize.ml: Evaluate List Patch Verilog

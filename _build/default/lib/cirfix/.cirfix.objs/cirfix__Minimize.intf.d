@@ -1,0 +1,1 @@
+lib/cirfix/minimize.mli: Evaluate Patch Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/mutate.ml: Config Fault_loc Fix_loc List Option Patch Random Templates Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/mutate.mli: Config Fault_loc Patch Random Verilog

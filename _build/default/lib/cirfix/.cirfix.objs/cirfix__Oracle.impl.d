@@ -1,0 +1,1 @@
+lib/cirfix/oracle.ml: List Logic4 Sim String Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/oracle.mli: Sim Verilog

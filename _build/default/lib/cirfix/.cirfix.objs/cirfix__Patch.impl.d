@@ -1,0 +1,1 @@
+lib/cirfix/patch.ml: Digest List Printf String Templates Verilog

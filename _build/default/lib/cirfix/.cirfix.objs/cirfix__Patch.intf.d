@@ -1,0 +1,1 @@
+lib/cirfix/patch.mli: Templates Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/problem.ml: List Oracle Sim Verilog

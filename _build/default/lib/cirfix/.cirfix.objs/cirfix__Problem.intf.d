@@ -1,0 +1,1 @@
+lib/cirfix/problem.mli: Oracle Sim Verilog

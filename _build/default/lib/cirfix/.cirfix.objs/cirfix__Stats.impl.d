@@ -1,0 +1,1 @@
+lib/cirfix/stats.ml: Array Float Hashtbl List Option

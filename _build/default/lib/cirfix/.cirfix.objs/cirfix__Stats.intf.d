@@ -1,0 +1,1 @@
+lib/cirfix/stats.mli:

@@ -1,0 +1,1 @@
+lib/cirfix/templates.ml: List Option Verilog

@@ -1,0 +1,1 @@
+lib/cirfix/templates.mli: Verilog

@@ -1,0 +1,90 @@
+(* The straightforward baseline from RQ1: enumerate edits uniformly over
+   the whole design (no fault localization, no fitness guidance beyond the
+   plausibility check), breadth-first over edit depth. The paper reports it
+   finds no repairs within the resource bounds on the benchmark suite. *)
+
+open Verilog.Ast
+
+type result = {
+  repaired : Patch.t option;
+  probes : int;
+  wall_seconds : float;
+  candidates_tried : int;
+}
+
+(* All single edits over the module: every delete, every same-class
+   replacement, every insertion of an insertable statement after every
+   statement, and every template at every eligible node. *)
+let single_edits (m : module_decl) : Patch.edit list =
+  let stmts = Verilog.Ast_utils.stmts_of_module m in
+  let deletes = List.map (fun (s : stmt) -> Patch.Delete s.sid) stmts in
+  let replaces =
+    List.concat_map
+      (fun (dest : stmt) ->
+        Fix_loc.replacement_pool m ~target:dest
+        |> List.map (fun src -> Patch.Replace (dest.sid, src)))
+      stmts
+  in
+  let inserts =
+    let pool = Fix_loc.insertion_pool m in
+    List.concat_map
+      (fun (dest : stmt) ->
+        List.map (fun src -> Patch.Insert (dest.sid, src)) pool)
+      stmts
+  in
+  let templates =
+    List.concat_map
+      (fun tpl ->
+        Templates.eligible_targets tpl m
+        |> List.concat_map (fun target ->
+               match tpl with
+               | Templates.Sens_posedge | Templates.Sens_negedge
+               | Templates.Sens_level ->
+                   (* One variant per signal in the module. *)
+                   stmts
+                   |> List.concat_map (fun s ->
+                          Fault_loc.NameSet.elements (Fault_loc.stmt_idents s))
+                   |> List.sort_uniq compare
+                   |> List.map (fun sig_ -> Patch.Template (tpl, target, Some sig_))
+               | _ -> [ Patch.Template (tpl, target, None) ]))
+      Templates.all
+  in
+  deletes @ replaces @ inserts @ templates
+
+let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
+  let ev = Evaluate.create cfg problem in
+  let original = Problem.target_module problem in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.max_wall_seconds in
+  let tried = ref 0 in
+  let found = ref None in
+  let out_of_resources () =
+    Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
+  in
+  let edits = single_edits original in
+  let try_patch p =
+    if !found = None && not (out_of_resources ()) then (
+      incr tried;
+      if (Evaluate.eval_patch ev original p).fitness >= 1.0 then found := Some p)
+  in
+  (* Depth 1, then depth 2 combinations, ... *)
+  let rec depth_n prefix depth =
+    if depth = 0 then try_patch (List.rev prefix)
+    else
+      List.iter
+        (fun e ->
+          if !found = None && not (out_of_resources ()) then
+            depth_n (e :: prefix) (depth - 1))
+        edits
+  in
+  let d = ref 1 in
+  while !found = None && !d <= max_depth && not (out_of_resources ()) do
+    depth_n [] !d;
+    incr d
+  done;
+  {
+    repaired = !found;
+    probes = ev.probes;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    candidates_tried = !tried;
+  }

@@ -1,0 +1,18 @@
+(** The straightforward baseline from the paper's RQ1: breadth-first
+    enumeration of edits applied uniformly to the design, with no fault
+    localization and no fitness guidance beyond the plausibility check. *)
+
+type result = {
+  repaired : Patch.t option;
+  probes : int;
+  wall_seconds : float;
+  candidates_tried : int;
+}
+
+(** Every single edit over the module: deletes, same-class replacements,
+    insertions, and template applications at each eligible node. *)
+val single_edits : Verilog.Ast.module_decl -> Patch.edit list
+
+(** Enumerate patches up to [max_depth] edits (default 2) under the
+    configuration's probe and wall-clock budgets. *)
+val search : ?max_depth:int -> Config.t -> Problem.t -> result

@@ -1,0 +1,57 @@
+(* GP parameters (paper Sec. 4.2). The paper runs popSize=5000 for up to 8
+   generations / 12 h wall-clock on VCS; our in-process simulator lets the
+   defaults be far smaller while keeping every ratio (thresholds, tournament
+   size, elitism) identical. All values are CLI-tunable up to paper scale. *)
+
+type t = {
+  pop_size : int;
+  max_generations : int;
+  rt_threshold : float; (* probability of applying a repair template *)
+  mut_threshold : float; (* mutation vs crossover split *)
+  del_threshold : float; (* mutation sub-type split: delete *)
+  ins_threshold : float; (* insert *)
+  rep_threshold : float; (* replace *)
+  tournament_size : int;
+  elitism : float; (* fraction of top candidates carried over *)
+  phi : float; (* x/z penalty weight in the fitness function *)
+  seed : int;
+  max_sim_steps : int; (* per-candidate simulation statement budget *)
+  max_sim_time : int; (* per-candidate simulated-time horizon *)
+  max_wall_seconds : float; (* resource bound for one trial *)
+  max_probes : int; (* fitness evaluation budget for one trial *)
+  use_fix_loc : bool; (* ablation A1: restrict insert/replace sources *)
+  use_templates : bool;
+  use_fault_loc : bool; (* when false, every statement is a target *)
+}
+
+let default =
+  {
+    pop_size = 40;
+    max_generations = 12;
+    rt_threshold = 0.2;
+    mut_threshold = 0.7;
+    del_threshold = 0.3;
+    ins_threshold = 0.3;
+    rep_threshold = 0.4;
+    tournament_size = 5;
+    elitism = 0.05;
+    phi = 2.0;
+    seed = 1;
+    max_sim_steps = 150_000;
+    max_sim_time = 200_000;
+    max_wall_seconds = 120.0;
+    max_probes = 4_000;
+    use_fix_loc = true;
+    use_templates = true;
+    use_fault_loc = true;
+  }
+
+(* The paper's full-scale configuration, for completeness. *)
+let paper_scale =
+  {
+    default with
+    pop_size = 5000;
+    max_generations = 8;
+    max_wall_seconds = 12.0 *. 3600.0;
+    max_probes = max_int;
+  }

@@ -1,0 +1,97 @@
+(* Candidate evaluation: materialize a patch, simulate the design under the
+   instrumented testbench, and score it against the oracle. Evaluations are
+   memoized on the materialized source (distinct patches frequently
+   collapse to the same program). *)
+
+type status =
+  | Simulated (* ran to completion (or quiesced) *)
+  | Compile_error of string (* elaboration failed: the "does not compile" case *)
+  | Sim_diverged of string (* budget blown or time limit: fitness 0 *)
+
+type outcome = {
+  fitness : float;
+  trace : Sim.Recorder.trace;
+  status : status;
+}
+
+type t = {
+  problem : Problem.t;
+  cfg : Config.t;
+  original_size : int; (* node count of the unpatched module *)
+  cache : (string, outcome) Hashtbl.t;
+  mutable probes : int; (* simulations actually run *)
+  mutable lookups : int; (* total evaluations requested *)
+  mutable compile_errors : int; (* non-memoized compile failures *)
+}
+
+let create (cfg : Config.t) (problem : Problem.t) : t =
+  {
+    problem;
+    cfg;
+    original_size =
+      Verilog.Ast_utils.module_size (Problem.target_module problem);
+    cache = Hashtbl.create 256;
+    probes = 0;
+    lookups = 0;
+    compile_errors = 0;
+  }
+
+let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
+  ev.lookups <- ev.lookups + 1;
+  (* Bloated candidates (runaway insertion growth) are rejected outright,
+     like mutants that fail to compile. *)
+  if Verilog.Ast_utils.module_size candidate > (20 * ev.original_size) + 512
+  then (
+    ev.compile_errors <- ev.compile_errors + 1;
+    { fitness = 0.; trace = []; status = Compile_error "candidate too large" })
+  else begin
+  let key = Digest.string (Verilog.Pp.module_to_string candidate) in
+  match Hashtbl.find_opt ev.cache key with
+  | Some o -> o
+  | None ->
+      ev.probes <- ev.probes + 1;
+      let design = Problem.with_candidate ev.problem candidate in
+      (* Candidates get a budget proportional to the golden run: a mutant
+         spinning in a zero-delay loop is cut off quickly instead of
+         burning the whole per-candidate ceiling. *)
+      let max_steps =
+        min ev.cfg.max_sim_steps ((ev.problem.golden_steps * 10) + 5_000)
+      in
+      let max_time =
+        min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
+      in
+      let outcome =
+        match Sim.Simulate.run ~max_steps ~max_time design ev.problem.spec with
+        | Error (Sim.Simulate.Elab_failure msg) ->
+            ev.compile_errors <- ev.compile_errors + 1;
+            { fitness = 0.; trace = []; status = Compile_error msg }
+        | Ok r -> (
+            match r.outcome with
+            | Sim.Engine.Finished | Sim.Engine.Quiescent ->
+                {
+                  fitness =
+                    Fitness.fitness ~phi:ev.cfg.phi
+                      ~expected:ev.problem.oracle ~actual:r.trace;
+                  trace = r.trace;
+                  status = Simulated;
+                }
+            | Sim.Engine.Time_limit_reached ->
+                (* Score whatever trace was produced; a looping mutant is
+                   still penalized by its missing samples. *)
+                {
+                  fitness =
+                    Fitness.fitness ~phi:ev.cfg.phi
+                      ~expected:ev.problem.oracle ~actual:r.trace;
+                  trace = r.trace;
+                  status = Sim_diverged "time limit";
+                }
+            | Sim.Engine.Budget_exceeded m ->
+                { fitness = 0.; trace = []; status = Sim_diverged m })
+      in
+      Hashtbl.replace ev.cache key outcome;
+      outcome
+  end
+
+let eval_patch (ev : t) (original : Verilog.Ast.module_decl) (p : Patch.t) :
+    outcome =
+  eval_module ev (Patch.apply original p)

@@ -1,0 +1,32 @@
+(** Candidate evaluation: materialize a patch, simulate the resulting
+    design under the instrumented testbench, and score it against the
+    oracle. Evaluations are memoized on the materialized source; candidate
+    simulations run under budgets scaled to the golden run so runaway
+    mutants are cut off quickly. *)
+
+type status =
+  | Simulated  (** ran to completion (or quiesced) *)
+  | Compile_error of string
+      (** elaboration failed or the candidate was rejected outright —
+          the hardware analogue of a mutant that does not compile *)
+  | Sim_diverged of string  (** budget or simulated-time limit reached *)
+
+type outcome = {
+  fitness : float;
+  trace : Sim.Recorder.trace;
+  status : status;
+}
+
+type t = {
+  problem : Problem.t;
+  cfg : Config.t;
+  original_size : int;
+  cache : (string, outcome) Hashtbl.t;
+  mutable probes : int;  (** simulations actually run (cache misses) *)
+  mutable lookups : int;  (** evaluations requested *)
+  mutable compile_errors : int;
+}
+
+val create : Config.t -> Problem.t -> t
+val eval_module : t -> Verilog.Ast.module_decl -> outcome
+val eval_patch : t -> Verilog.Ast.module_decl -> Patch.t -> outcome

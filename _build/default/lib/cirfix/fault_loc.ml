@@ -1,0 +1,125 @@
+(* Dataflow-based fault localization for HDL (paper Sec. 3.1, Algorithm 2):
+   a context-insensitive fixed-point analysis over assignments to wires and
+   registers. Starting from the output-mismatch set, it implicates
+
+     (Impl-Data)  assignment statements whose left-hand side names a
+                  mismatched identifier, and
+     (Impl-Ctrl)  conditional statements any of whose identifiers (in the
+                  whole subtree, per the paper's 4-bit-counter walkthrough)
+                  is mismatched,
+
+   adds the implicated node and all of its children to the localization
+   set, and feeds newly-seen identifiers back into the mismatch set
+   (Add-Child) until a fixed point. The result is a uniformly-ranked set of
+   node ids, reflecting the parallel structure of HDL designs. *)
+
+open Verilog.Ast
+module IdSet = Set.Make (Int)
+module NameSet = Set.Make (String)
+
+type result = {
+  fl : IdSet.t; (* implicated node ids (statements and expressions) *)
+  mismatch : NameSet.t; (* final transitive mismatch set *)
+  iterations : int; (* fixed-point rounds, for diagnostics *)
+}
+
+(* Identifiers appearing anywhere in a statement subtree, including names
+   written by assignments (lvalue bases are not expressions, so the generic
+   expression fold alone would miss them). *)
+let stmt_idents (s : stmt) : NameSet.t =
+  Verilog.Ast_utils.fold_stmt
+    (fun acc (sub : stmt) ->
+      match sub.s with
+      | Blocking (lhs, _, _) | Nonblocking (lhs, _, _) ->
+          NameSet.union acc (NameSet.of_list (Verilog.Ast_utils.lvalue_base lhs))
+      | _ -> acc)
+    (fun acc (e : expr) ->
+      match e.e with
+      | Ident n | Index (n, _) | RangeSel (n, _, _) -> NameSet.add n acc
+      | _ -> acc)
+    NameSet.empty s
+
+let expr_idents_set e =
+  NameSet.of_list (Verilog.Ast_utils.expr_idents e)
+
+let is_conditional (s : stmt) =
+  match s.s with
+  | If _ | CaseStmt _ | While _ | For _ -> true
+  | _ -> false
+
+let is_assignment (s : stmt) =
+  match s.s with Blocking _ | Nonblocking _ -> true | _ -> false
+
+let lvalue_names lv = NameSet.of_list (Verilog.Ast_utils.lvalue_base lv)
+
+let localize (m : module_decl) ~(mismatch : string list) : result =
+  let stmts = Verilog.Ast_utils.stmts_of_module m in
+  let cont_assigns =
+    List.filter_map
+      (fun (item : item) ->
+        match item.it with
+        | ContAssign assigns -> Some (item.iid, assigns)
+        | _ -> None)
+      m.items
+  in
+  let fl = ref IdSet.empty in
+  let current = ref (NameSet.of_list mismatch) in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    changed := false;
+    let add_names names =
+      NameSet.iter
+        (fun n ->
+          if not (NameSet.mem n !current) then (
+            current := NameSet.add n !current;
+            changed := true))
+        names
+    in
+    let add_ids ids =
+      List.iter
+        (fun id ->
+          if not (IdSet.mem id !fl) then (
+            fl := IdSet.add id !fl;
+            changed := true))
+        ids
+    in
+    (* Procedural statements. *)
+    List.iter
+      (fun (s : stmt) ->
+        let implicated =
+          (is_assignment s
+          &&
+          match s.s with
+          | Blocking (lhs, _, _) | Nonblocking (lhs, _, _) ->
+              not (NameSet.disjoint (lvalue_names lhs) !current)
+          | _ -> false)
+          || (is_conditional s && not (NameSet.disjoint (stmt_idents s) !current))
+        in
+        if implicated then (
+          add_ids (Verilog.Ast_utils.stmt_subtree_ids s);
+          add_names (stmt_idents s)))
+      stmts;
+    (* Continuous assignments participate in the same dataflow. *)
+    List.iter
+      (fun (iid, assigns) ->
+        List.iter
+          (fun (lhs, rhs) ->
+            if not (NameSet.disjoint (lvalue_names lhs) !current) then (
+              add_ids (iid :: Verilog.Ast_utils.expr_subtree_ids rhs);
+              add_names (expr_idents_set rhs)))
+          assigns)
+      cont_assigns
+  done;
+  { fl = !fl; mismatch = !current; iterations = !rounds }
+
+(* Statement ids within the localization set — the mutation targets. *)
+let fl_statements (m : module_decl) (r : result) : stmt list =
+  Verilog.Ast_utils.stmts_of_module m
+  |> List.filter (fun (s : stmt) -> IdSet.mem s.sid r.fl)
+
+(* When fault localization is disabled (ablation), every statement is a
+   target. *)
+let all_statements (m : module_decl) : stmt list =
+  Verilog.Ast_utils.stmts_of_module m

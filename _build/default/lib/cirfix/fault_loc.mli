@@ -1,0 +1,35 @@
+(** Dataflow-based fault localization for HDL descriptions (paper Sec. 3.1,
+    Algorithm 2).
+
+    A context-insensitive fixed-point analysis over assignments: starting
+    from the set of output signals that mismatch the oracle, it implicates
+    assignment statements writing a mismatched identifier (Impl-Data) and
+    conditional statements mentioning one (Impl-Ctrl), adds implicated
+    subtrees to the localization set, and feeds newly-seen identifiers back
+    into the mismatch set (Add-Child) until a fixed point. Unlike
+    spectrum-based localization, the result is a uniformly-ranked set,
+    reflecting the parallel structure of hardware designs. *)
+
+module IdSet : Set.S with type elt = int
+module NameSet : Set.S with type elt = string
+
+type result = {
+  fl : IdSet.t;  (** implicated node ids (statements and expressions) *)
+  mismatch : NameSet.t;  (** transitive closure of the mismatch set *)
+  iterations : int;  (** fixed-point rounds taken *)
+}
+
+(** All identifiers appearing in a statement subtree, including names
+    written by assignments. *)
+val stmt_idents : Verilog.Ast.stmt -> NameSet.t
+
+(** Run Algorithm 2 on one module given the initial output-mismatch set. *)
+val localize : Verilog.Ast.module_decl -> mismatch:string list -> result
+
+(** Statements of [m] within the localization set — the mutation targets. *)
+val fl_statements :
+  Verilog.Ast.module_decl -> result -> Verilog.Ast.stmt list
+
+(** Every statement of the module; used when fault localization is disabled
+    (ablation) or yields an empty set. *)
+val all_statements : Verilog.Ast.module_decl -> Verilog.Ast.stmt list

@@ -1,0 +1,101 @@
+(* The CirFix fitness function (paper Sec. 3.2): a bit-level comparison of
+   the recorded simulation trace against the expected-behaviour oracle.
+
+   For each sampled timestamp and each output bit:
+     +1    when expected and actual agree on a defined value (0/1),
+     +phi  when both are x (or both z),
+     -1    when both are defined but differ,
+     -phi  when exactly one side is x/z (or x vs z).
+   total() accumulates the corresponding positive magnitudes, and
+   fitness = max(0, sum) / total, in [0, 1]; 1.0 is a plausible repair. *)
+
+open Logic4
+
+type score = { sum : float; total : float; fitness : float }
+
+let classify (o : Bit.t) (s : Bit.t) : [ `Match | `XzMatch | `Mismatch | `XzMismatch ] =
+  match (o, s) with
+  | Bit.V0, Bit.V0 | Bit.V1, Bit.V1 -> `Match
+  | Bit.X, Bit.X | Bit.Z, Bit.Z -> `XzMatch
+  | Bit.V0, Bit.V1 | Bit.V1, Bit.V0 -> `Mismatch
+  | _ -> `XzMismatch
+
+(* Compare one sample's signal values bit by bit. Signals present in the
+   oracle but absent from the simulation (e.g. after an aborted run) count
+   as fully unknown. *)
+let compare_values ~phi acc (expected : (string * Vec.t) list)
+    (actual : (string * Vec.t) list option) =
+  List.fold_left
+    (fun (sum, total) (name, ov) ->
+      let av =
+        match actual with
+        | None -> Vec.all_x (Vec.width ov)
+        | Some l -> (
+            match List.assoc_opt name l with
+            | Some v -> v
+            | None -> Vec.all_x (Vec.width ov))
+      in
+      let w = Vec.width ov in
+      let sum = ref sum and total = ref total in
+      for i = 0 to w - 1 do
+        match classify (Vec.get ov i) (Vec.get av i) with
+        | `Match ->
+            sum := !sum +. 1.;
+            total := !total +. 1.
+        | `XzMatch ->
+            sum := !sum +. phi;
+            total := !total +. phi
+        | `Mismatch ->
+            sum := !sum -. 1.;
+            total := !total +. 1.
+        | `XzMismatch ->
+            sum := !sum -. phi;
+            total := !total +. phi
+      done;
+      (!sum, !total))
+    acc expected
+
+let score ~(phi : float) ~(expected : Sim.Recorder.trace)
+    ~(actual : Sim.Recorder.trace) : score =
+  let sum, total =
+    List.fold_left
+      (fun acc (es : Sim.Recorder.sample) ->
+        let actual_values =
+          List.find_opt (fun (a : Sim.Recorder.sample) -> a.t = es.t) actual
+          |> Option.map (fun (a : Sim.Recorder.sample) -> a.values)
+        in
+        compare_values ~phi acc es.values actual_values)
+      (0., 0.) expected
+  in
+  let fitness = if total <= 0. then 0. else Float.max 0. sum /. total in
+  { sum; total; fitness }
+
+let fitness ~phi ~expected ~actual = (score ~phi ~expected ~actual).fitness
+
+(* Output wires/registers whose value ever disagrees with the oracle — the
+   starting mismatch set for fault localization (Alg. 2 line 2). A signal
+   also mismatches if the simulation never produced its sample. *)
+let mismatched_signals ~(expected : Sim.Recorder.trace)
+    ~(actual : Sim.Recorder.trace) : string list =
+  let bad = Hashtbl.create 8 in
+  List.iter
+    (fun (es : Sim.Recorder.sample) ->
+      let actual_values =
+        List.find_opt (fun (a : Sim.Recorder.sample) -> a.t = es.t) actual
+        |> Option.map (fun (a : Sim.Recorder.sample) -> a.values)
+      in
+      List.iter
+        (fun (name, ov) ->
+          let av =
+            match actual_values with
+            | None -> Vec.all_x (Vec.width ov)
+            | Some l -> (
+                match List.assoc_opt name l with
+                | Some v -> v
+                | None -> Vec.all_x (Vec.width ov))
+          in
+          if not (Vec.equal (Vec.resize (Vec.width ov) av) ov) then
+            Hashtbl.replace bad name ())
+        es.values)
+    expected;
+  Hashtbl.fold (fun k () acc -> k :: acc) bad [] |> List.sort compare

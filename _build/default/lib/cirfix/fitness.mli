@@ -1,0 +1,37 @@
+(** The CirFix fitness function (paper Sec. 3.2).
+
+    Candidate repairs are scored by a bit-level comparison of the recorded
+    simulation trace against the expected-behaviour oracle, sampled at every
+    rising clock edge. Per bit: matching defined values add 1, matching x/z
+    values add [phi], defined mismatches subtract 1, and comparisons where
+    either side is x/z subtract [phi]. The normalized fitness is
+    [max(0, sum) / total] in [0, 1]; 1.0 marks a plausible
+    (testbench-adequate) repair. *)
+
+type score = {
+  sum : float;  (** signed fitness sum over all timestamps and bits *)
+  total : float;  (** total attainable magnitude *)
+  fitness : float;  (** [max(0, sum) / total], in [0, 1] *)
+}
+
+(** Full scoring breakdown of [actual] against [expected]. Timestamps or
+    signals missing from [actual] (e.g. after an aborted simulation) are
+    scored as all-x. *)
+val score :
+  phi:float ->
+  expected:Sim.Recorder.trace ->
+  actual:Sim.Recorder.trace ->
+  score
+
+(** [fitness ~phi ~expected ~actual] is [(score ...).fitness]. *)
+val fitness :
+  phi:float ->
+  expected:Sim.Recorder.trace ->
+  actual:Sim.Recorder.trace ->
+  float
+
+(** Output wires/registers whose value ever disagrees with the oracle: the
+    starting mismatch set for fault localization (Algorithm 2, line 2).
+    Sorted, duplicate-free. *)
+val mismatched_signals :
+  expected:Sim.Recorder.trace -> actual:Sim.Recorder.trace -> string list

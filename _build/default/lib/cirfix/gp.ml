@@ -1,0 +1,190 @@
+(* The main CirFix loop (paper Algorithm 1): genetic programming over
+   repair patches with tournament selection, elitism, repair templates,
+   mutation, crossover, per-parent re-localization, and delta-debugging
+   minimization of the winning patch. *)
+
+type candidate = {
+  patch : Patch.t;
+  outcome : Evaluate.outcome;
+}
+
+type generation_stats = {
+  gen : int;
+  best_fitness : float;
+  mean_fitness : float;
+  probes_so_far : int;
+}
+
+type result = {
+  repaired : candidate option; (* first plausible repair found *)
+  minimized : Patch.t option;
+  repaired_module : Verilog.Ast.module_decl option;
+  generations : generation_stats list; (* oldest first *)
+  probes : int; (* fitness evaluations (simulations) *)
+  compile_errors : int; (* mutants that failed elaboration *)
+  mutants_generated : int;
+  wall_seconds : float;
+  initial_fitness : float;
+}
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+(* Tournament selection (paper Sec. 3.5): the fittest of [t] random picks.
+   Fitness ties break toward shorter patches (parsimony pressure), which
+   keeps the population from drifting into junk edits while the search has
+   not yet found any gradient. *)
+let better (a : candidate) (b : candidate) =
+  a.outcome.fitness > b.outcome.fitness
+  || (a.outcome.fitness = b.outcome.fitness
+     && List.length a.patch < List.length b.patch)
+
+let tournament rng (cfg : Config.t) (popn : candidate array) : candidate =
+  let best = ref popn.(Random.State.int rng (Array.length popn)) in
+  for _ = 2 to cfg.tournament_size do
+    let c = popn.(Random.State.int rng (Array.length popn)) in
+    if better c !best then best := c
+  done;
+  !best
+
+(* Fault-localize a parent: simulate (cached) and run Algorithm 2 against
+   its own mismatch set — CirFix re-localizes per parent to support
+   dependent multi-edit repairs (paper Sec. 3). *)
+let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
+    (cfg : Config.t) (parent : candidate) :
+    Verilog.Ast.module_decl * Verilog.Ast.stmt list * Fault_loc.IdSet.t =
+  let m = Patch.apply original parent.patch in
+  if not cfg.use_fault_loc then (
+    let stmts = Fault_loc.all_statements m in
+    ( m,
+      stmts,
+      Fault_loc.IdSet.of_list (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) ))
+  else (
+    let mismatch =
+      match parent.outcome.status with
+      | Evaluate.Simulated | Evaluate.Sim_diverged _ ->
+          Fitness.mismatched_signals ~expected:ev.problem.oracle
+            ~actual:parent.outcome.trace
+      | Evaluate.Compile_error _ ->
+          (* Nothing simulated: blame every recorded output. *)
+          (match ev.problem.oracle with
+          | [] -> []
+          | s :: _ -> List.map fst s.values)
+    in
+    let r = Fault_loc.localize m ~mismatch in
+    let fl_stmts = Fault_loc.fl_statements m r in
+    (* An empty localization (e.g. mismatch names never assigned) would
+       stall the search; widen to all statements as a fallback. *)
+    if fl_stmts = [] then
+      let stmts = Fault_loc.all_statements m in
+      ( m,
+        stmts,
+        Fault_loc.IdSet.of_list
+          (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) )
+    else (m, fl_stmts, r.fl))
+
+let repair ?(on_generation : (generation_stats -> unit) option)
+    (cfg : Config.t) (problem : Problem.t) : result =
+  let rng = Random.State.make [| cfg.seed |] in
+  let ev = Evaluate.create cfg problem in
+  let original = Problem.target_module problem in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.max_wall_seconds in
+  let mutants = ref 0 in
+  let gen_stats = ref [] in
+  let eval patch = { patch; outcome = Evaluate.eval_patch ev original patch } in
+  let out_of_resources () =
+    Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
+  in
+
+  let initial = eval [] in
+  let found = ref (if initial.outcome.fitness >= 1.0 then Some initial else None) in
+
+  (* seed_popn(C, popnSize): the population starts as copies of the faulty
+     circuit (Alg. 1 line 1); generation 1 then explores pop_size fresh
+     single edits around it. *)
+  let popn = ref (Array.make (max cfg.pop_size 1) initial) in
+
+  let gen = ref 0 in
+  while !found = None && !gen < cfg.max_generations && not (out_of_resources ()) do
+    incr gen;
+    let child_popn = ref [] in
+    let child_count = ref 0 in
+    while
+      !child_count < cfg.pop_size
+      && !found = None
+      && not (out_of_resources ())
+    do
+      let parent = tournament rng cfg !popn in
+      let m, fl_stmts, fl = localize_parent ev original cfg parent in
+      let children =
+        if cfg.use_templates && Random.State.float rng 1.0 <= cfg.rt_threshold
+        then
+          (* Repair templates (Alg. 1 line 8). *)
+          match Mutate.template_edit rng m ~fl with
+          | Some e -> [ parent.patch @ [ e ] ]
+          | None -> []
+        else if Random.State.float rng 1.0 <= cfg.mut_threshold then
+          match Mutate.mutate rng cfg m ~fl_stmts with
+          | Some e -> [ parent.patch @ [ e ] ]
+          | None -> []
+        else (
+          let parent2 = tournament rng cfg !popn in
+          let c1, c2 = Mutate.crossover rng parent.patch parent2.patch in
+          [ c1; c2 ])
+      in
+      List.iter
+        (fun patch ->
+          if !found = None && not (out_of_resources ()) then (
+            incr mutants;
+            incr child_count;
+            let c = eval patch in
+            if c.outcome.fitness >= 1.0 then found := Some c;
+            child_popn := c :: !child_popn))
+        children
+    done;
+    (* Elitism: carry the top e% of the previous generation forward. *)
+    let elite_n =
+      max 1 (int_of_float (cfg.elitism *. float_of_int cfg.pop_size))
+    in
+    let sorted = Array.copy !popn in
+    Array.sort
+      (fun a b ->
+        match compare b.outcome.fitness a.outcome.fitness with
+        | 0 -> compare (List.length a.patch) (List.length b.patch)
+        | c -> c)
+      sorted;
+    let elites = Array.to_list (Array.sub sorted 0 (min elite_n (Array.length sorted))) in
+    let next = Array.of_list (elites @ !child_popn) in
+    if Array.length next > 0 then popn := next;
+    let fits = Array.to_list (Array.map (fun c -> c.outcome.fitness) !popn) in
+    let stats =
+      {
+        gen = !gen;
+        best_fitness =
+          (match !found with
+          | Some _ -> 1.0
+          | None -> List.fold_left Float.max 0. fits);
+        mean_fitness = mean fits;
+        probes_so_far = ev.probes;
+      }
+    in
+    gen_stats := stats :: !gen_stats;
+    Option.iter (fun f -> f stats) on_generation
+  done;
+
+  let minimized =
+    Option.map (fun c -> Minimize.minimize ev original c.patch) !found
+  in
+  {
+    repaired = !found;
+    minimized;
+    repaired_module = Option.map (Patch.apply original) minimized;
+    generations = List.rev !gen_stats;
+    probes = ev.probes;
+    compile_errors = ev.compile_errors;
+    mutants_generated = !mutants;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    initial_fitness = initial.outcome.fitness;
+  }

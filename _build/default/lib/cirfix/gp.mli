@@ -1,0 +1,31 @@
+(** The main CirFix repair loop (paper Algorithm 1): genetic programming
+    over repair patches with tournament selection, elitism, repair
+    templates, mutation and crossover, per-parent re-localization, and
+    delta-debugging minimization of the first plausible repair found. *)
+
+type candidate = { patch : Patch.t; outcome : Evaluate.outcome }
+
+type generation_stats = {
+  gen : int;
+  best_fitness : float;
+  mean_fitness : float;
+  probes_so_far : int;
+}
+
+type result = {
+  repaired : candidate option;  (** first plausible repair, un-minimized *)
+  minimized : Patch.t option;  (** one-minimal repair patch *)
+  repaired_module : Verilog.Ast.module_decl option;
+  generations : generation_stats list;  (** oldest first *)
+  probes : int;  (** fitness evaluations (simulations actually run) *)
+  compile_errors : int;  (** mutants that failed elaboration *)
+  mutants_generated : int;
+  wall_seconds : float;
+  initial_fitness : float;  (** fitness of the unpatched faulty design *)
+}
+
+(** Run one seeded repair trial. Terminates at a plausible repair (fitness
+    1.0), or when generations, probes, or wall-clock budget are exhausted.
+    [on_generation] observes progress. *)
+val repair :
+  ?on_generation:(generation_stats -> unit) -> Config.t -> Problem.t -> result

@@ -1,0 +1,50 @@
+(* Repair minimization (paper Sec. 3.7): delta debugging [Zeller/Hildebrandt]
+   over the edit list to compute a one-minimal subset that still attains
+   fitness 1.0. Extraneous edits that do not contribute to the repair are
+   discarded before the patch is shown to a developer. *)
+
+(* Classic ddmin. [test subset] must return true when the subset still
+   "fails" — here, still repairs the circuit. *)
+let ddmin (test : 'a list -> bool) (items : 'a list) : 'a list =
+  let split n l =
+    (* Partition [l] into [n] nearly-equal chunks. *)
+    let len = List.length l in
+    let base = len / n and extra = len mod n in
+    let rec go i l acc =
+      if i >= n then List.rev acc
+      else (
+        let k = base + if i < extra then 1 else 0 in
+        let chunk = List.filteri (fun j _ -> j < k) l in
+        let rest = List.filteri (fun j _ -> j >= k) l in
+        go (i + 1) rest (chunk :: acc))
+    in
+    go 0 l []
+  in
+  let rec go items n =
+    if List.length items <= 1 then items
+    else (
+      let chunks = split n items in
+      (* Try each chunk alone. *)
+      match List.find_opt test chunks with
+      | Some chunk -> go chunk 2
+      | None -> (
+          (* Try each complement. *)
+          let complements =
+            List.mapi
+              (fun i _ ->
+                List.concat (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+          in
+          match List.find_opt test complements with
+          | Some comp -> go comp (max (n - 1) 2)
+          | None ->
+              if n < List.length items then go items (min (List.length items) (2 * n))
+              else items))
+  in
+  if test [] then [] else go items 2
+
+(* Minimize a plausible patch against the problem's fitness function. *)
+let minimize (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
+    (patch : Patch.t) : Patch.t =
+  let is_repair subset = (Evaluate.eval_patch ev original subset).fitness >= 1.0 in
+  if not (is_repair patch) then patch else ddmin is_repair patch

@@ -1,0 +1,14 @@
+(** Repair minimization (paper Sec. 3.7): delta debugging over the edit
+    list, yielding a one-minimal subset that still attains fitness 1.0
+    before the patch is shown to a developer. *)
+
+(** Classic ddmin. [test subset] must hold of subsets that still exhibit
+    the property of interest (here: still repair the circuit). Returns a
+    one-minimal such subset; the empty list if [test []] already holds. *)
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+
+(** Minimize a plausible patch against the problem's fitness function. If
+    the patch does not actually reach fitness 1.0, it is returned
+    unchanged. *)
+val minimize :
+  Evaluate.t -> Verilog.Ast.module_decl -> Patch.t -> Patch.t

@@ -1,0 +1,97 @@
+(* Repair operators (paper Sec. 3.4): mutation (replace / insert / delete)
+   over the fault-localization space, drawing sources from the
+   fix-localization space; and single-point crossover over edit lists
+   (Sec. 3.4, "standard single-point crossover"). *)
+
+open Verilog.Ast
+
+let choose rng (l : 'a list) : 'a option =
+  match l with
+  | [] -> None
+  | _ -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+(* Draw one mutation edit for a parent whose materialized module is [m] and
+   whose fault-localization statements are [fl_stmts]. *)
+let mutate (rng : Random.State.t) (cfg : Config.t) (m : module_decl)
+    ~(fl_stmts : stmt list) : Patch.edit option =
+  let fl_stmts =
+    (* Mutating raw blocks or bare timing controls mostly destroys process
+       structure; operate on the enclosed statements instead. *)
+    List.filter
+      (fun (s : stmt) ->
+        match s.s with Block _ | EventCtrl (_, None) -> false | _ -> true)
+      fl_stmts
+  in
+  let p = Random.State.float rng 1.0 in
+  let total = cfg.del_threshold +. cfg.ins_threshold +. cfg.rep_threshold in
+  let p = p *. total in
+  if p <= cfg.del_threshold then
+    Option.map (fun (s : stmt) -> Patch.Delete s.sid) (choose rng fl_stmts)
+  else if p <= cfg.del_threshold +. cfg.ins_threshold then (
+    let pool =
+      if cfg.use_fix_loc then Fix_loc.insertion_pool m
+      else Fix_loc.unrestricted_pool m
+    in
+    match (choose rng fl_stmts, choose rng pool) with
+    | Some dest, Some src -> Some (Patch.Insert (dest.sid, src))
+    | _ -> None)
+  else
+    match choose rng fl_stmts with
+    | None -> None
+    | Some dest -> (
+        let pool =
+          if cfg.use_fix_loc then Fix_loc.replacement_pool m ~target:dest
+          else
+            List.filter
+              (fun (s : stmt) -> s.sid <> dest.sid)
+              (Fix_loc.unrestricted_pool m)
+        in
+        match choose rng pool with
+        | Some src -> Some (Patch.Replace (dest.sid, src))
+        | None -> None)
+
+(* Draw a repair-template edit (Alg. 1 line 8). The target is drawn from
+   the intersection of the template's eligible nodes with the fault
+   localization set; sensitivity templates also draw a signal read inside
+   the enclosing module. *)
+let template_edit (rng : Random.State.t) (m : module_decl)
+    ~(fl : Fault_loc.IdSet.t) : Patch.edit option =
+  let tpl = List.nth Templates.all (Random.State.int rng (List.length Templates.all)) in
+  let eligible =
+    Templates.eligible_targets tpl m
+    |> List.filter (fun id -> Fault_loc.IdSet.mem id fl)
+  in
+  let eligible =
+    (* Sensitivity lists live on always blocks that often sit just outside
+       the localized region; fall back to any eligible node. *)
+    if eligible = [] then Templates.eligible_targets tpl m else eligible
+  in
+  match choose rng eligible with
+  | None -> None
+  | Some target ->
+      let signal =
+        match tpl with
+        | Templates.Sens_posedge | Templates.Sens_negedge | Templates.Sens_level
+        | Templates.Sens_add_posedge | Templates.Sens_add_negedge ->
+            let names =
+              Verilog.Ast_utils.stmts_of_module m
+              |> List.concat_map (fun s ->
+                     Fault_loc.NameSet.elements (Fault_loc.stmt_idents s))
+              |> List.sort_uniq compare
+            in
+            choose rng names
+        | _ -> None
+      in
+      Some (Patch.Template (tpl, target, signal))
+
+(* Single-point crossover: swap edit-list suffixes. *)
+let crossover (rng : Random.State.t) (a : Patch.t) (b : Patch.t) :
+    Patch.t * Patch.t =
+  let cut l =
+    let n = List.length l in
+    if n = 0 then 0 else Random.State.int rng (n + 1)
+  in
+  let ca = cut a and cb = cut b in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let drop k l = List.filteri (fun i _ -> i >= k) l in
+  (take ca a @ drop cb b, take cb b @ drop ca a)

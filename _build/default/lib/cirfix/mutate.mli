@@ -1,0 +1,32 @@
+(** Repair operators (paper Sec. 3.4): mutation (replace / insert /
+    delete) over the fault-localization space drawing from the
+    fix-localization pools, repair-template draws, and single-point
+    crossover over edit lists. All randomness flows through the caller's
+    [Random.State.t] for reproducible trials. *)
+
+(** Uniform draw; [None] on an empty list. *)
+val choose : Random.State.t -> 'a list -> 'a option
+
+(** Draw one mutation edit for a parent materialized as [m] whose
+    fault-localized statements are [fl_stmts]. The delete/insert/replace
+    split follows the configured thresholds. [None] when no applicable
+    edit exists (e.g. empty pools). *)
+val mutate :
+  Random.State.t ->
+  Config.t ->
+  Verilog.Ast.module_decl ->
+  fl_stmts:Verilog.Ast.stmt list ->
+  Patch.edit option
+
+(** Draw a repair-template edit (Algorithm 1 line 8), targeting the
+    intersection of the template's eligible nodes with the localization
+    set (falling back to all eligible nodes when empty). *)
+val template_edit :
+  Random.State.t ->
+  Verilog.Ast.module_decl ->
+  fl:Fault_loc.IdSet.t ->
+  Patch.edit option
+
+(** Standard single-point crossover: swap edit-list suffixes, producing
+    two children. *)
+val crossover : Random.State.t -> Patch.t -> Patch.t -> Patch.t * Patch.t

@@ -1,0 +1,69 @@
+(* Expected-behaviour information (paper Sec. 4.1.2). The oracle is a
+   recorded trace of output wire/register values per clock edge, obtained
+   here — as in the paper's benchmark construction — by simulating a
+   previously-functioning (golden) version of the design under the
+   instrumented testbench. *)
+
+type t = Sim.Recorder.trace
+
+exception Oracle_error of string
+
+(* Simulate a golden design and capture its trace as the oracle. *)
+let of_golden_design ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
+    (design : Verilog.Ast.design) (spec : Sim.Simulate.spec) : t =
+  match Sim.Simulate.run ~max_steps ~max_time design spec with
+  | Error (Sim.Simulate.Elab_failure msg) ->
+      raise (Oracle_error ("golden design failed to elaborate: " ^ msg))
+  | Ok r -> (
+      match r.outcome with
+      | Sim.Engine.Finished | Sim.Engine.Quiescent -> r.trace
+      | Sim.Engine.Time_limit_reached ->
+          raise (Oracle_error "golden design hit the time limit")
+      | Sim.Engine.Budget_exceeded m ->
+          raise (Oracle_error ("golden design exceeded budget: " ^ m)))
+
+(* RQ4: degrade the quality of the correctness information by keeping only
+   every [keep]-th sampled timestamp (keep=2 -> 50%, keep=4 -> 25%). *)
+let thin ~(keep : int) (oracle : t) : t =
+  if keep <= 1 then oracle
+  else
+    List.filteri (fun i _ -> i mod keep = 0) oracle
+
+(* Fraction of samples retained, for reporting. *)
+let coverage ~(full : t) (oracle : t) : float =
+  if full = [] then 0.
+  else float_of_int (List.length oracle) /. float_of_int (List.length full)
+
+(* --- CSV persistence (the paper's Figure 2 format) --------------------- *)
+
+let to_csv (oracle : t) : string = Sim.Recorder.to_string oracle
+
+let of_csv (text : string) : t =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> []
+  | header :: rows ->
+      let names =
+        match String.split_on_char ',' header with
+        | "time" :: rest -> rest
+        | _ -> raise (Oracle_error "csv header must start with 'time'")
+      in
+      List.map
+        (fun row ->
+          match String.split_on_char ',' row with
+          | t :: vals when List.length vals = List.length names ->
+              {
+                Sim.Recorder.t =
+                  (try int_of_string (String.trim t)
+                   with _ -> raise (Oracle_error ("bad timestamp: " ^ t)));
+                values =
+                  List.map2
+                    (fun n v -> (n, Logic4.Vec.of_string (String.trim v)))
+                    names vals;
+              }
+          | _ -> raise (Oracle_error ("malformed csv row: " ^ row)))
+        rows

@@ -1,0 +1,31 @@
+(** Expected-behaviour information (paper Sec. 4.1.2): the oracle CirFix
+    scores candidates against is a per-clock-edge trace of output wire and
+    register values, obtained by simulating a previously-functioning
+    (golden) version of the design under the instrumented testbench — or
+    authored by hand in the same CSV format. *)
+
+type t = Sim.Recorder.trace
+
+exception Oracle_error of string
+
+(** Simulate a golden design and capture its trace. Raises [Oracle_error]
+    if the golden design fails to elaborate or exhausts its budget. *)
+val of_golden_design :
+  ?max_steps:int ->
+  ?max_time:int ->
+  Verilog.Ast.design ->
+  Sim.Simulate.spec ->
+  t
+
+(** RQ4: keep only every [keep]-th sampled timestamp ([keep]=2 retains 50%,
+    4 retains 25%). [keep] <= 1 is the identity. *)
+val thin : keep:int -> t -> t
+
+(** Fraction of [full]'s samples retained by [oracle]. *)
+val coverage : full:t -> t -> float
+
+(** CSV persistence in the paper's Figure 2 layout: a [time,...] header
+    followed by one row per sampled edge. *)
+
+val to_csv : t -> string
+val of_csv : string -> t

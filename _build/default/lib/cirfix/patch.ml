@@ -1,0 +1,55 @@
+(* Repair patches: each program variant is a sequence of AST edits
+   parameterized by node numbers (paper Sec. 3). Edits embed the source
+   fragment to insert/replace, so a patch applies deterministically to the
+   original module regardless of what earlier edits did; an edit whose
+   target vanished (e.g. after a delete) is a no-op, as in GenProg-style
+   patch representations. *)
+
+open Verilog.Ast
+
+type edit =
+  | Replace of id * stmt (* replace statement [id] with the fragment *)
+  | Insert of id * stmt (* insert the fragment after statement [id] *)
+  | Delete of id
+  | Template of Templates.t * id * string option (* template, target, signal *)
+
+type t = edit list
+
+let edit_to_string = function
+  | Replace (id, s) ->
+      Printf.sprintf "replace(%d, %s)" id
+        (String.map (function '\n' -> ' ' | c -> c) (Verilog.Pp.stmt_to_string s))
+  | Insert (id, s) ->
+      Printf.sprintf "insert-after(%d, %s)" id
+        (String.map (function '\n' -> ' ' | c -> c) (Verilog.Pp.stmt_to_string s))
+  | Delete id -> Printf.sprintf "delete(%d)" id
+  | Template (tpl, id, signal) ->
+      Printf.sprintf "template(%s, %d%s)" (Templates.to_string tpl) id
+        (match signal with None -> "" | Some s -> ", " ^ s)
+
+let to_string (p : t) =
+  if p = [] then "(empty patch)"
+  else String.concat "; " (List.map edit_to_string p)
+
+(* Apply one edit; [None] when the target id is absent. *)
+let apply_edit (m : module_decl) (edit : edit) : module_decl option =
+  match edit with
+  | Replace (target, fragment) ->
+      Verilog.Ast_utils.replace_stmt m ~target ~replacement:fragment
+  | Insert (target, fragment) ->
+      Verilog.Ast_utils.insert_after m ~target ~stmt:fragment
+  | Delete target -> Verilog.Ast_utils.delete_stmt m ~target
+  | Template (tpl, target, signal) -> Templates.apply tpl ?signal m ~target
+
+(* Apply a whole patch to the original module. Edits that no longer apply
+   are skipped. *)
+let apply (original : module_decl) (p : t) : module_decl =
+  List.fold_left
+    (fun m edit ->
+      match apply_edit m edit with Some m' -> m' | None -> m)
+    original p
+
+(* Structural key used to cache fitness evaluations: two patches that
+   materialize to the same source are the same candidate. *)
+let digest (original : module_decl) (p : t) : string =
+  Digest.string (Verilog.Pp.module_to_string (apply original p))

@@ -1,0 +1,32 @@
+(** A repair problem: the faulty design (with its testbench), the module
+    under repair, the simulation spec, and the expected-behaviour oracle. *)
+
+type t = {
+  name : string;
+  design : Verilog.Ast.design;  (** full design including the testbench *)
+  target : string;  (** name of the module being repaired *)
+  spec : Sim.Simulate.spec;
+  oracle : Oracle.t;
+  golden_steps : int;  (** statement count of the golden simulation *)
+  golden_end_time : int;  (** simulated end time of the golden run *)
+}
+
+exception Problem_error of string
+
+(** The module under repair. Raises [Problem_error] if absent. *)
+val target_module : t -> Verilog.Ast.module_decl
+
+(** The full design with a candidate substituted for the target module. *)
+val with_candidate : t -> Verilog.Ast.module_decl -> Verilog.Ast.design
+
+(** Build a problem from sources: the oracle is derived by simulating the
+    golden design under the same testbench and spec. Raises
+    [Problem_error] on parse or golden-simulation failure. *)
+val make :
+  name:string ->
+  faulty:string ->
+  golden:string ->
+  testbench:string ->
+  target:string ->
+  Sim.Simulate.spec ->
+  t

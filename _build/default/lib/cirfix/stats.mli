@@ -1,0 +1,18 @@
+(** Statistics for the evaluation harness: descriptive statistics and the
+    two-tailed Mann-Whitney U test (normal approximation with tie
+    correction), as used by the paper's RQ2 analysis. *)
+
+val mean : float list -> float
+val median : float list -> float
+val stddev : float list -> float
+
+(** Ranks (1-based) with ties assigned their average rank. *)
+val ranks : float array -> float array
+
+(** Standard normal CDF (Abramowitz & Stegun 7.1.26 approximation). *)
+val normal_cdf : float -> float
+
+type mwu = { u : float; z : float; p_two_tailed : float }
+
+(** Two-tailed Mann-Whitney U test; NaNs when either sample is empty. *)
+val mann_whitney_u : float list -> float list -> mwu

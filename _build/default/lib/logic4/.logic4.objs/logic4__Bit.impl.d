@@ -1,0 +1,1 @@
+lib/logic4/bit.ml: Format Printf Stdlib

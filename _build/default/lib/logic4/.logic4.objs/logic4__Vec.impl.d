@@ -1,0 +1,1 @@
+lib/logic4/vec.ml: Array Bit Format List Seq String

@@ -1,0 +1,1 @@
+lib/logic4/vec.mli: Bit Format

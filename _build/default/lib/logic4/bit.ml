@@ -1,0 +1,35 @@
+type t = V0 | V1 | X | Z
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let is_defined = function V0 | V1 -> true | X | Z -> false
+let to_char = function V0 -> '0' | V1 -> '1' | X -> 'x' | Z -> 'z'
+
+let of_char = function
+  | '0' -> V0
+  | '1' -> V1
+  | 'x' | 'X' -> X
+  | 'z' | 'Z' | '?' -> Z
+  | c -> invalid_arg (Printf.sprintf "Bit.of_char: %c" c)
+
+(* In expressions, z behaves as x (IEEE 1364-2005 Table 5-13 ff.). *)
+let log_and a b =
+  match (a, b) with
+  | V0, _ | _, V0 -> V0
+  | V1, V1 -> V1
+  | _ -> X
+
+let log_or a b =
+  match (a, b) with
+  | V1, _ | _, V1 -> V1
+  | V0, V0 -> V0
+  | _ -> X
+
+let log_xor a b =
+  match (a, b) with
+  | V0, V0 | V1, V1 -> V0
+  | V0, V1 | V1, V0 -> V1
+  | _ -> X
+
+let log_not = function V0 -> V1 | V1 -> V0 | X | Z -> X
+let pp fmt b = Format.pp_print_char fmt (to_char b)

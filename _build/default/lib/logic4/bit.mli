@@ -1,0 +1,25 @@
+(** Four-state logic scalars per IEEE 1364: 0, 1, unknown (x), high
+    impedance (z). *)
+
+type t = V0 | V1 | X | Z
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [is_defined b] is true iff [b] is [V0] or [V1]. *)
+val is_defined : t -> bool
+
+val to_char : t -> char
+
+(** [of_char c] parses '0', '1', 'x', 'X', 'z', 'Z', '?' (wildcard maps to
+    [Z] as in casez). Raises [Invalid_argument] otherwise. *)
+val of_char : char -> t
+
+(** Four-state AND/OR/XOR/NOT truth tables (x-pessimistic, z treated as x). *)
+
+val log_and : t -> t -> t
+val log_or : t -> t -> t
+val log_xor : t -> t -> t
+val log_not : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/coverage.ml: Format Hashtbl List Option Runtime String Verilog

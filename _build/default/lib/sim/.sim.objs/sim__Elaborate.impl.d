@@ -1,0 +1,1 @@
+lib/sim/elaborate.ml: Array Eval Hashtbl List Logic4 Option Printf Runtime Vec Verilog

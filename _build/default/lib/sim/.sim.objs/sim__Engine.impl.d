@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Bit Buffer Char Effect Elaborate Eval Hashtbl List Logic4 Option Printf Runtime String Vec Verilog

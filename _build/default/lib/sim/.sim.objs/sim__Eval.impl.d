@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array Bit List Logic4 Printf Runtime Vec Verilog

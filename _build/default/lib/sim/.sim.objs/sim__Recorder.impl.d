@@ -1,0 +1,1 @@
+lib/sim/recorder.ml: Bit Format List Logic4 Runtime String Vec

@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Array Bit Buffer Hashtbl List Logic4 Option Printf Queue Vec

@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Buffer Elaborate Engine Recorder Runtime Stdlib Verilog

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bit Buffer Char Hashtbl List Logic4 Option Out_channel Printf Runtime String Vec

@@ -1,0 +1,1 @@
+lib/sim/wave.ml: Bit Buffer List Logic4 Printf Recorder String Vec

@@ -1,0 +1,67 @@
+(* Statement coverage: which statements of a design the testbench actually
+   exercised. A thin report layer over the interpreter's per-node execution
+   counts, useful for judging testbench (and therefore oracle) quality. *)
+
+type stmt_report = {
+  sr_sid : int;
+  sr_count : int; (* executions; 0 = never reached *)
+  sr_text : string;
+}
+
+type module_report = {
+  mr_module : string;
+  mr_covered : int;
+  mr_total : int;
+  mr_stmts : stmt_report list; (* document order *)
+}
+
+let ratio (r : module_report) =
+  if r.mr_total = 0 then 1.0
+  else float_of_int r.mr_covered /. float_of_int r.mr_total
+
+(* Build per-module reports from a finished simulation. Only statements of
+   modules in [design] are reported (hierarchical instances share the
+   module's node ids, so counts aggregate across instances). *)
+let report (st : Runtime.state) (design : Verilog.Ast.design) :
+    module_report list =
+  let counts sid =
+    match st.coverage with
+    | None -> 0
+    | Some h -> Option.value (Hashtbl.find_opt h sid) ~default:0
+  in
+  List.map
+    (fun (m : Verilog.Ast.module_decl) ->
+      let stmts = Verilog.Ast_utils.stmts_of_module m in
+      let reports =
+        List.map
+          (fun (s : Verilog.Ast.stmt) ->
+            {
+              sr_sid = s.sid;
+              sr_count = counts s.sid;
+              sr_text =
+                String.map
+                  (function '\n' -> ' ' | c -> c)
+                  (Verilog.Pp.stmt_to_string s);
+            })
+          stmts
+      in
+      {
+        mr_module = m.mod_id;
+        mr_covered =
+          List.length (List.filter (fun r -> r.sr_count > 0) reports);
+        mr_total = List.length reports;
+        mr_stmts = reports;
+      })
+    design
+
+let pp fmt (r : module_report) =
+  Format.fprintf fmt "%s: %d/%d statements covered (%.0f%%)@." r.mr_module
+    r.mr_covered r.mr_total (100. *. ratio r);
+  List.iter
+    (fun sr ->
+      if sr.sr_count = 0 then
+        Format.fprintf fmt "  never executed [%d]: %s@." sr.sr_sid
+          (if String.length sr.sr_text > 70 then
+             String.sub sr.sr_text 0 67 ^ "..."
+           else sr.sr_text))
+    r.mr_stmts

@@ -1,0 +1,54 @@
+(* One-call simulation front end: parse-free API over elaborate + engine +
+   recorder, returning the run outcome, recorded trace, and $display log. *)
+
+type spec = {
+  top : string; (* testbench module to elaborate *)
+  clock : string; (* qualified clock name, e.g. "tb.clk" *)
+  dut_path : string; (* qualified DUT instance, e.g. "tb.dut" *)
+}
+
+type result = {
+  outcome : Engine.outcome;
+  trace : Recorder.trace;
+  display : string;
+  end_time : int;
+  steps : int;
+}
+
+type error = Elab_failure of string
+
+(* Simulate [design] under [spec]. Elaboration failures (the simulator
+   analogue of a mutant that does not compile) are reported as [Error]. *)
+let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000) (design : Verilog.Ast.design)
+    (spec : spec) : (result, error) Stdlib.result =
+  match
+    (try
+       let elab = Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top in
+       let recorder =
+         Recorder.attach elab.st ~clock:spec.clock ~instance_path:spec.dut_path
+       in
+       Ok (elab, recorder)
+     with Runtime.Elab_error msg -> Error (Elab_failure msg))
+  with
+  | Error e -> Error e
+  | Ok (elab, recorder) -> (
+      (* Runtime scope errors (e.g. a mutant reading an undeclared name
+         discovered only when that path executes) also count as failures. *)
+      match Engine.run elab with
+      | exception Runtime.Elab_error msg -> Error (Elab_failure msg)
+      | outcome ->
+          Ok
+            {
+              outcome;
+              trace = Recorder.trace recorder;
+              display = Buffer.contents elab.st.display_log;
+              end_time = elab.st.now;
+              steps = elab.st.steps;
+            })
+
+(* Convenience: parse sources then simulate. *)
+let run_source ?max_steps ?max_time ~(source : string) (spec : spec) :
+    (result, error) Stdlib.result =
+  match Verilog.Parser.parse_design_result source with
+  | Error msg -> Error (Elab_failure msg)
+  | Ok design -> run ?max_steps ?max_time design spec

@@ -1,0 +1,1 @@
+lib/verilog/ast.ml: Logic4

@@ -1,0 +1,1 @@
+lib/verilog/ast_utils.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/verilog/lexer.ml: Array Buffer Char List Logic4 Printf String

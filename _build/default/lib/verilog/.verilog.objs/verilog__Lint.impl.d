@@ -1,0 +1,1 @@
+lib/verilog/lint.ml: Ast Ast_utils Format Hashtbl List Option Printf Set String

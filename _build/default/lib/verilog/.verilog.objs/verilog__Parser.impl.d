@@ -1,0 +1,1 @@
+lib/verilog/parser.ml: Array Ast Lexer List Option Preprocess Printf

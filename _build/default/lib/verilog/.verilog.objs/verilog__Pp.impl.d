@@ -1,0 +1,1 @@
+lib/verilog/pp.ml: Ast Format List Logic4 String

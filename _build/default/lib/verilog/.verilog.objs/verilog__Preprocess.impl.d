@@ -1,0 +1,1 @@
+lib/verilog/preprocess.ml: Buffer Hashtbl List String

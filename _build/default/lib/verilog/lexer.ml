@@ -1,0 +1,263 @@
+(* Hand-written lexer for the Verilog subset. Produces a token array with
+   line numbers for error reporting. *)
+
+type token =
+  | IDENT of string
+  | SYSIDENT of string (* $display, $time, ... *)
+  | NUMBER of Logic4.Vec.t (* sized/based literal *)
+  | INT of int (* plain decimal literal *)
+  | STRING of string
+  | KEYWORD of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | HASH
+  | AT
+  | QUESTION
+  | EQ (* = *)
+  | OP of string (* multi-char and arithmetic operators *)
+  | EOF
+
+exception Error of string * int (* message, line *)
+
+let keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg";
+    "integer"; "parameter"; "localparam"; "assign"; "always"; "initial";
+    "begin"; "end"; "if"; "else"; "case"; "casez"; "casex"; "endcase";
+    "default"; "for"; "while"; "repeat"; "forever"; "posedge"; "negedge";
+    "or"; "event"; "wait"; "deassign"; "function"; "endfunction"; "task";
+    "endtask"; "signed";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let digit_val c =
+  if is_digit c then Char.code c - Char.code '0'
+  else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+  else if c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+  else -1
+
+(* Expand a based literal body into an MSB-first 4-state bit string. *)
+let based_bits ~line ~width ~base body =
+  let bits_per_digit =
+    match base with 'b' -> 1 | 'o' -> 3 | 'h' -> 4 | _ -> 0
+  in
+  let buf = Buffer.create 32 in
+  if base = 'd' then (
+    let n =
+      try int_of_string (String.concat "" (String.split_on_char '_' body))
+      with _ -> raise (Error ("bad decimal literal " ^ body, line))
+    in
+    for i = width - 1 downto 0 do
+      Buffer.add_char buf (if i < 62 && (n lsr i) land 1 = 1 then '1' else '0')
+    done)
+  else (
+    let expand_digit c =
+        if c = '_' then ()
+        else if c = 'x' || c = 'X' then Buffer.add_string buf (String.make bits_per_digit 'x')
+        else if c = 'z' || c = 'Z' || c = '?' then
+          Buffer.add_string buf (String.make bits_per_digit 'z')
+        else (
+          let v = digit_val c in
+          if v < 0 || v >= 1 lsl bits_per_digit then
+            raise (Error (Printf.sprintf "bad digit %c for base %c" c base, line));
+          for i = bits_per_digit - 1 downto 0 do
+            Buffer.add_char buf (if (v lsr i) land 1 = 1 then '1' else '0')
+          done)
+    in
+    String.iter expand_digit body;
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    let len = String.length s in
+    if len >= width then Buffer.add_string buf (String.sub s (len - width) width)
+    else (
+      (* Extend with 0, or with x/z if the MSB is x/z (IEEE 1364 rule). *)
+      let fill =
+        if len = 0 then '0'
+        else match s.[0] with ('x' | 'z') as c -> c | _ -> '0'
+      in
+      Buffer.add_string buf (String.make (width - len) fill);
+      Buffer.add_string buf s));
+  Logic4.Vec.of_string (Buffer.contents buf)
+
+type lexed = { toks : token array; lines : int array }
+
+let tokenize (src : string) : lexed =
+  let n = String.length src in
+  let toks = ref [] and lines = ref [] in
+  let line = ref 1 in
+  let emit t =
+    toks := t :: !toks;
+    lines := !line :: !lines
+  in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then (
+      incr line;
+      incr pos)
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = '/' then (
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done)
+    else if c = '/' && peek 1 = '*' then (
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = '/' then (
+          closed := true;
+          pos := !pos + 2)
+        else incr pos
+      done;
+      if not !closed then raise (Error ("unterminated comment", !line)))
+    else if c = '`' then (
+      (* Skip compiler directives to end of line (timescale etc.). *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done)
+    else if c = '"' then (
+      incr pos;
+      let buf = Buffer.create 16 in
+      while !pos < n && src.[!pos] <> '"' do
+        if src.[!pos] = '\\' && !pos + 1 < n then (
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | ch -> Buffer.add_char buf ch);
+          pos := !pos + 2)
+        else (
+          Buffer.add_char buf src.[!pos];
+          incr pos)
+      done;
+      if !pos >= n then raise (Error ("unterminated string", !line));
+      incr pos;
+      emit (STRING (Buffer.contents buf)))
+    else if c = '$' && is_ident_start (peek 1) then (
+      let start = !pos in
+      incr pos;
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      emit (SYSIDENT (String.sub src start (!pos - start))))
+    else if is_ident_start c then (
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      if List.mem word keywords then emit (KEYWORD word) else emit (IDENT word))
+    else if is_digit c || (c = '\'' && is_ident_char (peek 1)) then (
+      (* Number: [size]'base digits, or plain decimal. A bare 'b... defaults
+         to 32-bit width. *)
+      let start = !pos in
+      while !pos < n && (is_digit src.[!pos] || src.[!pos] = '_') do
+        incr pos
+      done;
+      let size_str = String.sub src start (!pos - start) in
+      if !pos < n && src.[!pos] = '\'' then (
+        incr pos;
+        let base = Char.lowercase_ascii src.[!pos] in
+        if not (List.mem base [ 'b'; 'o'; 'h'; 'd' ]) then
+          raise (Error (Printf.sprintf "bad number base %c" base, !line));
+        incr pos;
+        let bstart = !pos in
+        while
+          !pos < n
+          && (digit_val src.[!pos] >= 0
+             || List.mem src.[!pos] [ '_'; 'x'; 'X'; 'z'; 'Z'; '?' ])
+        do
+          incr pos
+        done;
+        let body = String.sub src bstart (!pos - bstart) in
+        let width =
+          if size_str = "" then 32
+          else int_of_string (String.concat "" (String.split_on_char '_' size_str))
+        in
+        emit (NUMBER (based_bits ~line:!line ~width ~base body)))
+      else
+        emit
+          (INT
+             (int_of_string
+                (String.concat "" (String.split_on_char '_' size_str)))))
+    else (
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let three = if !pos + 2 < n then String.sub src !pos 3 else "" in
+      match three with
+      | "===" | "!==" | "<<<" | ">>>" ->
+          (* Arithmetic shifts are treated as logical (unsigned subset). *)
+          let t = match three with "<<<" -> "<<" | ">>>" -> ">>" | s -> s in
+          emit (OP t);
+          pos := !pos + 3
+      | _ -> (
+          match two with
+          | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>" | "~^" | "^~"
+          | "~&" | "~|" | "->" ->
+              emit (OP (if two = "^~" then "~^" else two));
+              pos := !pos + 2
+          | _ ->
+              (match c with
+              | '(' -> emit LPAREN
+              | ')' -> emit RPAREN
+              | '[' -> emit LBRACKET
+              | ']' -> emit RBRACKET
+              | '{' -> emit LBRACE
+              | '}' -> emit RBRACE
+              | ';' -> emit SEMI
+              | ':' -> emit COLON
+              | ',' -> emit COMMA
+              | '.' -> emit DOT
+              | '#' -> emit HASH
+              | '@' -> emit AT
+              | '?' -> emit QUESTION
+              | '=' -> emit EQ
+              | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '^' | '~'
+              | '!' ->
+                  emit (OP (String.make 1 c))
+              | _ -> raise (Error (Printf.sprintf "unexpected character %c" c, !line)));
+              incr pos))
+  done;
+  emit EOF;
+  {
+    toks = Array.of_list (List.rev !toks);
+    lines = Array.of_list (List.rev !lines);
+  }
+
+let string_of_token = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | SYSIDENT s -> s
+  | NUMBER v -> Logic4.Vec.to_string v
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | KEYWORD s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | HASH -> "#"
+  | AT -> "@"
+  | QUESTION -> "?"
+  | EQ -> "="
+  | OP s -> s
+  | EOF -> "end of input"

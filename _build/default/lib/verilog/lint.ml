@@ -1,0 +1,258 @@
+(* Static design checks run before a repaired module is handed to a
+   developer. The paper leaves synthesizability and style review to the
+   human validation phase (Sec. 5.1, footnote 2); this pass automates the
+   mechanical part of that review: patterns that simulate fine but
+   synthesize badly or hide bugs. *)
+
+open Ast
+
+module Names = Set.Make (String)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string; (* short kebab-case rule name *)
+  node : id; (* offending node *)
+  message : string;
+}
+
+let finding severity rule node fmt =
+  Printf.ksprintf (fun message -> { severity; rule; node; message }) fmt
+
+(* Sensitivity-list classification for an always process. *)
+type process_style =
+  | Clocked (* posedge/negedge in the list *)
+  | Combinational (* level or star sensitivity *)
+  | Mixed (* both edge and level items: usually a mistake *)
+
+let style_of_specs specs =
+  let edge =
+    List.exists (function Posedge _ | Negedge _ -> true | _ -> false) specs
+  in
+  let level =
+    List.exists (function Level _ | AnyChange -> true | _ -> false) specs
+  in
+  match (edge, level) with
+  | true, true -> Mixed
+  | true, false -> Clocked
+  | _ -> Combinational
+
+(* Names read / written inside a statement. *)
+let reads_writes (s : stmt) : Names.t * Names.t =
+  let reads =
+    Ast_utils.fold_stmt
+      (fun acc _ -> acc)
+      (fun acc (e : expr) ->
+        match e.e with
+        | Ident n | Index (n, _) | RangeSel (n, _, _) -> Names.add n acc
+        | _ -> acc)
+      Names.empty s
+  in
+  let writes =
+    Ast_utils.fold_stmt
+      (fun acc (sub : stmt) ->
+        match sub.s with
+        | Blocking (lhs, _, _) | Nonblocking (lhs, _, _) ->
+            List.fold_left
+              (fun acc n -> Names.add n acc)
+              acc (Ast_utils.lvalue_base lhs)
+        | _ -> acc)
+      (fun acc _ -> acc)
+      Names.empty s
+  in
+  (reads, writes)
+
+(* Does a statement contain any delay/event/wait timing control? *)
+let has_timing (s : stmt) =
+  Ast_utils.fold_stmt
+    (fun acc (sub : stmt) ->
+      acc
+      ||
+      match sub.s with
+      | Delay _ | EventCtrl _ | Wait _ -> true
+      | Blocking (_, Some _, _) | Nonblocking (_, Some _, _) -> true
+      | _ -> false)
+    (fun acc _ -> acc)
+    false s
+
+(* Branch completeness: does every path through [s] assign [name]? *)
+let rec always_assigns name (s : stmt) : bool =
+  match s.s with
+  | Blocking (lhs, _, _) | Nonblocking (lhs, _, _) ->
+      List.mem name (Ast_utils.lvalue_base lhs)
+  | Block (_, body) -> List.exists (always_assigns name) body
+  | If (_, t, e) ->
+      (match t with Some t -> always_assigns name t | None -> false)
+      && (match e with Some e -> always_assigns name e | None -> false)
+  | CaseStmt (_, _, arms, default) ->
+      (match default with Some d -> always_assigns name d | None -> false)
+      && List.for_all
+           (fun arm ->
+             match arm.arm_body with
+             | Some b -> always_assigns name b
+             | None -> false)
+           arms
+  | EventCtrl (_, Some k) | Delay (_, Some k) | Wait (_, Some k) ->
+      always_assigns name k
+  | _ -> false
+
+let check_always ~(params : Names.t) (acc : finding list) (item : item)
+    (s : stmt) : finding list =
+  match s.s with
+  | EventCtrl (specs, body) -> (
+      let style = style_of_specs specs in
+      let acc =
+        if style = Mixed then
+          finding Error "mixed-sensitivity" s.sid
+            "sensitivity list mixes edge and level items"
+          :: acc
+        else acc
+      in
+      match (style, body) with
+      | (Combinational | Mixed), Some body ->
+          let reads, writes = reads_writes body in
+          (* Incomplete sensitivity: a read signal missing from the list
+             (unless the star form is used). *)
+          let star = List.mem AnyChange specs in
+          let listed =
+            List.fold_left
+              (fun acc spec ->
+                match spec with
+                | Level e | Posedge e | Negedge e ->
+                    List.fold_left
+                      (fun acc n -> Names.add n acc)
+                      acc (Ast_utils.expr_idents e)
+                | AnyChange -> acc)
+              Names.empty specs
+          in
+          let acc =
+            if star then acc
+            else
+              Names.fold
+                (fun n acc ->
+                  if Names.mem n listed || Names.mem n writes
+                     || Names.mem n params (* constants never change *) then
+                    acc
+                  else
+                    finding Warning "incomplete-sensitivity" s.sid
+                      "combinational block reads %s but is not sensitive to it"
+                      n
+                    :: acc)
+                reads acc
+          in
+          (* Latch inference: a written signal not assigned on all paths. *)
+          let acc =
+            Names.fold
+              (fun n acc ->
+                if always_assigns n body then acc
+                else
+                  finding Warning "inferred-latch" s.sid
+                    "%s is not assigned on every path of a combinational block (latch inferred)"
+                    n
+                  :: acc)
+              writes acc
+          in
+          (* Combinational blocks should use blocking assignments. *)
+          let nba =
+            Ast_utils.fold_stmt
+              (fun acc (sub : stmt) ->
+                acc || match sub.s with Nonblocking _ -> true | _ -> false)
+              (fun acc _ -> acc)
+              false body
+          in
+          if nba then
+            finding Warning "nonblocking-in-comb" s.sid
+              "non-blocking assignment inside a combinational block"
+            :: acc
+          else acc
+      | Clocked, Some body ->
+          (* Clocked blocks should use non-blocking assignments. *)
+          let blk =
+            Ast_utils.fold_stmt
+              (fun acc (sub : stmt) ->
+                acc || match sub.s with Blocking _ -> true | _ -> false)
+              (fun acc _ -> acc)
+              false body
+          in
+          if blk then
+            finding Warning "blocking-in-clocked" s.sid
+              "blocking assignment inside a clocked block"
+            :: acc
+          else acc
+      | _, None -> acc)
+  | _ ->
+      (* An always process without a leading event control free-runs. *)
+      if has_timing s then acc
+      else
+        finding Error "free-running-always" item.iid
+          "always block has no timing control and will loop at time 0"
+        :: acc
+
+(* Collect the names driven by each kind of writer for multi-driver
+   detection. *)
+let drivers (m : module_decl) : (string * string) list =
+  List.concat_map
+    (fun (item : item) ->
+      match item.it with
+      | ContAssign assigns ->
+          List.concat_map
+            (fun (lhs, _) ->
+              List.map (fun n -> (n, "assign")) (Ast_utils.lvalue_base lhs))
+            assigns
+      | Always s ->
+          let _, writes = reads_writes s in
+          Names.fold (fun n acc -> (n, "always") :: acc) writes []
+      | _ -> [])
+    m.items
+
+let check_module (m : module_decl) : finding list =
+  let params =
+    List.fold_left
+      (fun acc (item : item) ->
+        match item.it with
+        | ParamDecl (_, pairs) ->
+            List.fold_left (fun acc (n, _) -> Names.add n acc) acc pairs
+        | _ -> acc)
+      Names.empty m.items
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (item : item) ->
+      match item.it with
+      | Always s -> acc := check_always ~params !acc item s
+      | Initial s ->
+          (* $display-only initial blocks are fine; warn on synthesis
+             blockers like delays driving design state. *)
+          if has_timing s then
+            acc :=
+              finding Warning "delay-in-design" item.iid
+                "initial/timed logic is not synthesizable (testbench-only construct)"
+              :: !acc
+      | _ -> ())
+    m.items;
+  (* Multiple structural drivers for one net. *)
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (n, kind) ->
+      Hashtbl.replace tally n
+        (kind :: Option.value (Hashtbl.find_opt tally n) ~default:[]))
+    (drivers m);
+  Hashtbl.iter
+    (fun n kinds ->
+      let distinct = List.sort_uniq compare kinds in
+      if List.length kinds > 1 && List.length distinct > 1 then
+        acc :=
+          finding Error "multiple-drivers" m.mid
+            "%s is driven by both continuous and procedural logic" n
+          :: !acc)
+    tally;
+  List.rev !acc
+
+let check_design (d : design) : (string * finding list) list =
+  List.map (fun m -> (m.mod_id, check_module m)) d
+
+let pp_finding fmt (f : finding) =
+  Format.fprintf fmt "%s [%s] node %d: %s"
+    (match f.severity with Warning -> "warning" | Error -> "error")
+    f.rule f.node f.message

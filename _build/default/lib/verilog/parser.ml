@@ -1,0 +1,577 @@
+(* Recursive-descent parser for the Verilog subset. Assigns fresh node ids
+   (resetting the counter) so each parsed design has ids 1..max_id. *)
+
+open Ast
+
+exception Error of string * int
+
+type state = { lx : Lexer.lexed; mutable i : int }
+
+let cur st = st.lx.toks.(st.i)
+let line st = st.lx.lines.(min st.i (Array.length st.lx.lines - 1))
+let advance st = st.i <- st.i + 1
+
+let peek st k =
+  let j = st.i + k in
+  if j < Array.length st.lx.toks then st.lx.toks.(j) else Lexer.EOF
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (got %s)" msg (Lexer.string_of_token (cur st)), line st))
+
+let expect st tok what =
+  if cur st = tok then advance st else fail st ("expected " ^ what)
+
+let expect_ident st what =
+  match cur st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st ("expected " ^ what)
+
+let accept st tok = if cur st = tok then (advance st; true) else false
+let accept_kw st kw = accept st (Lexer.KEYWORD kw)
+let accept_op st op = accept st (Lexer.OP op)
+
+(* --- Expressions ------------------------------------------------------- *)
+
+let unop_of_op = function
+  | "+" -> Some Uplus
+  | "-" -> Some Uminus
+  | "!" -> Some Unot
+  | "~" -> Some Ubnot
+  | "&" -> Some Uand
+  | "|" -> Some Uor
+  | "^" -> Some Uxor
+  | "~&" -> Some Unand
+  | "~|" -> Some Unor
+  | "~^" -> Some Uxnor
+  | _ -> None
+
+(* Binary precedence levels, loosest first. *)
+let binop_levels =
+  [
+    [ ("||", Lor) ];
+    [ ("&&", Land) ];
+    [ ("|", Bor) ];
+    [ ("^", Bxor); ("~^", Bxnor) ];
+    [ ("&", Band) ];
+    [ ("==", Eq); ("!=", Neq); ("===", Ceq); ("!==", Cneq) ];
+    [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ];
+    [ ("<<", Shl); (">>", Shr) ];
+    [ ("+", Add); ("-", Sub) ];
+    [ ("*", Mul); ("/", Div); ("%", Mod) ];
+  ]
+
+let rec parse_expr st : expr =
+  let c = parse_binary st 0 in
+  if accept st Lexer.QUESTION then (
+    let t = parse_expr st in
+    expect st Lexer.COLON ":";
+    let f = parse_expr st in
+    mk_e (Cond (c, t, f)))
+  else c
+
+and parse_binary st level : expr =
+  if level >= List.length binop_levels then parse_unary st
+  else (
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match cur st with
+      | Lexer.OP o when List.mem_assoc o ops ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := mk_e (Binop (List.assoc o ops, !lhs, rhs))
+      | _ -> continue := false
+    done;
+    !lhs)
+
+and parse_unary st : expr =
+  match cur st with
+  | Lexer.OP o when unop_of_op o <> None ->
+      advance st;
+      let operand = parse_unary st in
+      mk_e (Unop (Option.get (unop_of_op o), operand))
+  | _ -> parse_primary st
+
+and parse_primary st : expr =
+  match cur st with
+  | Lexer.NUMBER v ->
+      advance st;
+      mk_e (Number v)
+  | Lexer.INT n ->
+      advance st;
+      mk_e (IntLit n)
+  | Lexer.STRING s ->
+      advance st;
+      mk_e (String s)
+  | Lexer.SYSIDENT f ->
+      advance st;
+      let args =
+        if cur st = Lexer.LPAREN then (
+          advance st;
+          let args = parse_expr_list st in
+          expect st Lexer.RPAREN ")";
+          args)
+        else []
+      in
+      mk_e (Call (f, args))
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.LBRACE ->
+      advance st;
+      (* Either a concat {a, b, ...} or a replication {n{...}}. *)
+      let first = parse_expr st in
+      if cur st = Lexer.LBRACE then (
+        advance st;
+        let inner =
+          match parse_expr_list st with
+          | [ e ] -> e
+          | es -> mk_e (Concat es)
+        in
+        expect st Lexer.RBRACE "}";
+        expect st Lexer.RBRACE "}";
+        mk_e (Repl (first, inner)))
+      else (
+        let rest = if accept st Lexer.COMMA then parse_expr_list st else [] in
+        expect st Lexer.RBRACE "}";
+        mk_e (Concat (first :: rest)))
+  | Lexer.IDENT name -> (
+      advance st;
+      if cur st = Lexer.LBRACKET then (
+        advance st;
+        let e1 = parse_expr st in
+        if accept st Lexer.COLON then (
+          let e2 = parse_expr st in
+          expect st Lexer.RBRACKET "]";
+          mk_e (RangeSel (name, e1, e2)))
+        else (
+          expect st Lexer.RBRACKET "]";
+          mk_e (Index (name, e1))))
+      else mk_e (Ident name))
+  | _ -> fail st "expected expression"
+
+and parse_expr_list st : expr list =
+  let e = parse_expr st in
+  if accept st Lexer.COMMA then e :: parse_expr_list st else [ e ]
+
+(* --- Lvalues ----------------------------------------------------------- *)
+
+let rec parse_lvalue st : lvalue =
+  match cur st with
+  | Lexer.LBRACE ->
+      advance st;
+      let rec go () =
+        let lv = parse_lvalue st in
+        if accept st Lexer.COMMA then lv :: go () else [ lv ]
+      in
+      let lvs = go () in
+      expect st Lexer.RBRACE "}";
+      LConcat lvs
+  | Lexer.IDENT name ->
+      advance st;
+      if cur st = Lexer.LBRACKET then (
+        advance st;
+        let e1 = parse_expr st in
+        if accept st Lexer.COLON then (
+          let e2 = parse_expr st in
+          expect st Lexer.RBRACKET "]";
+          LRange (name, e1, e2))
+        else (
+          expect st Lexer.RBRACKET "]";
+          LIndex (name, e1)))
+      else LId name
+  | _ -> fail st "expected lvalue"
+
+(* --- Event specs ------------------------------------------------------- *)
+
+let rec parse_event_specs st : event_spec list =
+  let spec =
+    if accept_kw st "posedge" then Posedge (parse_expr st)
+    else if accept_kw st "negedge" then Negedge (parse_expr st)
+    else if accept_op st "*" then AnyChange
+    else Level (parse_expr st)
+  in
+  if accept_kw st "or" || accept st Lexer.COMMA then
+    spec :: parse_event_specs st
+  else [ spec ]
+
+let parse_event_control st : event_spec list =
+  (* After '@': either '(specs)', '*', or a bare identifier. *)
+  if accept st Lexer.LPAREN then (
+    let specs = parse_event_specs st in
+    expect st Lexer.RPAREN ")";
+    specs)
+  else if accept_op st "*" then [ AnyChange ]
+  else [ Level (parse_expr st) ]
+
+(* --- Statements -------------------------------------------------------- *)
+
+let parse_delay_value st : expr =
+  (* After '#': a number, identifier, or parenthesized expression. *)
+  match cur st with
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | _ -> parse_primary st
+
+let rec parse_stmt st : stmt =
+  match cur st with
+  | Lexer.SEMI ->
+      advance st;
+      mk_s Null
+  | Lexer.KEYWORD "begin" ->
+      advance st;
+      let label =
+        if accept st Lexer.COLON then Some (expect_ident st "block label")
+        else None
+      in
+      let body = ref [] in
+      while cur st <> Lexer.KEYWORD "end" do
+        body := parse_stmt st :: !body
+      done;
+      advance st;
+      mk_s (Block (label, List.rev !body))
+  | Lexer.KEYWORD "if" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      let t = parse_opt_stmt st in
+      let e =
+        if accept_kw st "else" then Some (Option.value (parse_opt_stmt st) ~default:(mk_s Null))
+        else None
+      in
+      mk_s (If (c, t, e))
+  | Lexer.KEYWORD (("case" | "casez" | "casex") as kw) ->
+      advance st;
+      let kind =
+        match kw with "case" -> Case | "casez" -> Casez | _ -> Casex
+      in
+      expect st Lexer.LPAREN "(";
+      let subject = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      let arms = ref [] and default = ref None in
+      while cur st <> Lexer.KEYWORD "endcase" do
+        if accept_kw st "default" then (
+          ignore (accept st Lexer.COLON);
+          default := parse_opt_stmt st)
+        else (
+          let pats = parse_expr_list st in
+          expect st Lexer.COLON ":";
+          let body = parse_opt_stmt st in
+          arms := { arm_id = fresh_id (); patterns = pats; arm_body = body } :: !arms)
+      done;
+      advance st;
+      mk_s (CaseStmt (kind, subject, List.rev !arms, !default))
+  | Lexer.KEYWORD "for" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let init = parse_assignment st ~consume_semi:false in
+      expect st Lexer.SEMI ";";
+      let cond = parse_expr st in
+      expect st Lexer.SEMI ";";
+      let step = parse_assignment st ~consume_semi:false in
+      expect st Lexer.RPAREN ")";
+      let body = parse_stmt st in
+      mk_s (For (init, cond, step, body))
+  | Lexer.KEYWORD "while" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk_s (While (c, parse_stmt st))
+  | Lexer.KEYWORD "repeat" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk_s (Repeat (c, parse_stmt st))
+  | Lexer.KEYWORD "forever" ->
+      advance st;
+      mk_s (Forever (parse_stmt st))
+  | Lexer.KEYWORD "wait" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk_s (Wait (c, parse_opt_stmt st))
+  | Lexer.HASH ->
+      advance st;
+      let d = parse_delay_value st in
+      mk_s (Delay (d, parse_opt_stmt st))
+  | Lexer.AT ->
+      advance st;
+      let specs = parse_event_control st in
+      mk_s (EventCtrl (specs, parse_opt_stmt st))
+  | Lexer.OP "->" ->
+      advance st;
+      let name = expect_ident st "event name" in
+      expect st Lexer.SEMI ";";
+      mk_s (Trigger name)
+  | Lexer.SYSIDENT task ->
+      advance st;
+      let args =
+        if accept st Lexer.LPAREN then (
+          let args =
+            if cur st = Lexer.RPAREN then [] else parse_expr_list st
+          in
+          expect st Lexer.RPAREN ")";
+          args)
+        else []
+      in
+      expect st Lexer.SEMI ";";
+      mk_s (SysTask (task, args))
+  | Lexer.IDENT _ | Lexer.LBRACE -> parse_assignment st ~consume_semi:true
+  | _ -> fail st "expected statement"
+
+(* A statement position that may be empty: ';' alone or a sub-statement. *)
+and parse_opt_stmt st : stmt option =
+  if accept st Lexer.SEMI then None else Some (parse_stmt st)
+
+and parse_assignment st ~consume_semi : stmt =
+  let lhs = parse_lvalue st in
+  let nonblocking =
+    if accept st Lexer.EQ then false
+    else if accept_op st "<=" then true
+    else fail st "expected = or <="
+  in
+  let delay = if accept st Lexer.HASH then Some (parse_delay_value st) else None in
+  let rhs = parse_expr st in
+  if consume_semi then expect st Lexer.SEMI ";";
+  if nonblocking then mk_s (Nonblocking (lhs, delay, rhs))
+  else mk_s (Blocking (lhs, delay, rhs))
+
+(* --- Module items ------------------------------------------------------ *)
+
+let parse_range st : range =
+  expect st Lexer.LBRACKET "[";
+  let msb = parse_expr st in
+  expect st Lexer.COLON ":";
+  let lsb = parse_expr st in
+  expect st Lexer.RBRACKET "]";
+  { msb; lsb }
+
+let parse_opt_range st : range option =
+  if cur st = Lexer.LBRACKET then Some (parse_range st) else None
+
+let net_kind_of_kw = function
+  | "wire" -> Some Wire
+  | "reg" -> Some Reg
+  | "integer" -> Some Integer
+  | _ -> None
+
+let parse_name_list st : string list =
+  let rec go () =
+    let n = expect_ident st "identifier" in
+    if accept st Lexer.COMMA then n :: go () else [ n ]
+  in
+  go ()
+
+let parse_declarators st : declarator list =
+  let rec go () =
+    let d_name = expect_ident st "identifier" in
+    let d_array = parse_opt_range st in
+    let d_init = if accept st Lexer.EQ then Some (parse_expr st) else None in
+    let d = { d_name; d_array; d_init } in
+    if accept st Lexer.COMMA then d :: go () else [ d ]
+  in
+  go ()
+
+let parse_param_pairs st : (string * expr) list =
+  let rec go () =
+    let name = expect_ident st "parameter name" in
+    expect st Lexer.EQ "=";
+    let v = parse_expr st in
+    if accept st Lexer.COMMA then (name, v) :: go () else [ (name, v) ]
+  in
+  go ()
+
+let parse_port_conns st : port_conn list =
+  if cur st = Lexer.RPAREN then []
+  else (
+    let rec go () =
+      let conn =
+        if accept st Lexer.DOT then (
+          let port = expect_ident st "port name" in
+          expect st Lexer.LPAREN "(";
+          let e = if cur st = Lexer.RPAREN then None else Some (parse_expr st) in
+          expect st Lexer.RPAREN ")";
+          Named (port, e))
+        else Positional (parse_expr st)
+      in
+      if accept st Lexer.COMMA then conn :: go () else [ conn ]
+    in
+    go ())
+
+let parse_item st : item =
+  match cur st with
+  | Lexer.KEYWORD (("input" | "output" | "inout") as kw) ->
+      advance st;
+      let dir =
+        match kw with "input" -> Input | "output" -> Output | _ -> Inout
+      in
+      let kind =
+        match cur st with
+        | Lexer.KEYWORD k when net_kind_of_kw k <> None ->
+            advance st;
+            net_kind_of_kw k
+        | _ -> None
+      in
+      let range = parse_opt_range st in
+      let names = parse_name_list st in
+      expect st Lexer.SEMI ";";
+      mk_i (PortDecl (dir, kind, range, names))
+  | Lexer.KEYWORD (("wire" | "reg" | "integer") as kw) ->
+      advance st;
+      let kind = Option.get (net_kind_of_kw kw) in
+      let range = parse_opt_range st in
+      let ds = parse_declarators st in
+      expect st Lexer.SEMI ";";
+      mk_i (NetDecl (kind, range, ds))
+  | Lexer.KEYWORD (("parameter" | "localparam") as kw) ->
+      advance st;
+      ignore (parse_opt_range st);
+      let pairs = parse_param_pairs st in
+      expect st Lexer.SEMI ";";
+      mk_i (ParamDecl (kw = "localparam", pairs))
+  | Lexer.KEYWORD "assign" ->
+      advance st;
+      let rec go () =
+        ignore (if accept st Lexer.HASH then Some (parse_delay_value st) else None);
+        let lhs = parse_lvalue st in
+        expect st Lexer.EQ "=";
+        let rhs = parse_expr st in
+        if accept st Lexer.COMMA then (lhs, rhs) :: go () else [ (lhs, rhs) ]
+      in
+      let assigns = go () in
+      expect st Lexer.SEMI ";";
+      mk_i (ContAssign assigns)
+  | Lexer.KEYWORD "always" ->
+      advance st;
+      mk_i (Always (parse_stmt st))
+  | Lexer.KEYWORD "initial" ->
+      advance st;
+      mk_i (Initial (parse_stmt st))
+  | Lexer.KEYWORD "event" ->
+      advance st;
+      let names = parse_name_list st in
+      expect st Lexer.SEMI ";";
+      mk_i (EventDecl names)
+  | Lexer.IDENT mod_name when (match peek st 1 with
+                               | Lexer.IDENT _ | Lexer.HASH -> true
+                               | _ -> false) ->
+      advance st;
+      let params =
+        if accept st Lexer.HASH then (
+          expect st Lexer.LPAREN "(";
+          let rec go () =
+            let p =
+              if accept st Lexer.DOT then (
+                let name = expect_ident st "parameter name" in
+                expect st Lexer.LPAREN "(";
+                let e = parse_expr st in
+                expect st Lexer.RPAREN ")";
+                (Some name, e))
+              else (None, parse_expr st)
+            in
+            if accept st Lexer.COMMA then p :: go () else [ p ]
+          in
+          let ps = go () in
+          expect st Lexer.RPAREN ")";
+          ps)
+        else []
+      in
+      let inst_name = expect_ident st "instance name" in
+      expect st Lexer.LPAREN "(";
+      let conns = parse_port_conns st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.SEMI ";";
+      mk_i (Instance { mod_name; inst_name; params; conns })
+  | _ -> fail st "expected module item"
+
+(* ANSI-style header: module m(input clk, output reg [3:0] q, ...); *)
+let parse_ansi_ports st : string list * item list =
+  let ports = ref [] and items = ref [] in
+  let dir = ref Input in
+  let rec go () =
+    (match cur st with
+    | Lexer.KEYWORD (("input" | "output" | "inout") as kw) ->
+        advance st;
+        dir := (match kw with "input" -> Input | "output" -> Output | _ -> Inout)
+    | _ -> ());
+    let kind =
+      match cur st with
+      | Lexer.KEYWORD k when net_kind_of_kw k <> None ->
+          advance st;
+          net_kind_of_kw k
+      | _ -> None
+    in
+    let range = parse_opt_range st in
+    let name = expect_ident st "port name" in
+    ports := name :: !ports;
+    items := mk_i (PortDecl (!dir, kind, range, [ name ])) :: !items;
+    if accept st Lexer.COMMA then go ()
+  in
+  go ();
+  (List.rev !ports, List.rev !items)
+
+let parse_module st : module_decl =
+  expect st (Lexer.KEYWORD "module") "module";
+  let mid = fresh_id () in
+  let name = expect_ident st "module name" in
+  let ports, header_items =
+    if accept st Lexer.LPAREN then
+      if cur st = Lexer.RPAREN then (
+        advance st;
+        ([], []))
+      else (
+        (* Distinguish ANSI (starts with a direction/type keyword) from a
+           plain port name list. *)
+        let ansi =
+          match cur st with
+          | Lexer.KEYWORD ("input" | "output" | "inout" | "wire" | "reg") ->
+              true
+          | _ -> false
+        in
+        let result =
+          if ansi then parse_ansi_ports st
+          else (parse_name_list st, [])
+        in
+        expect st Lexer.RPAREN ")";
+        result)
+    else ([], [])
+  in
+  expect st Lexer.SEMI ";";
+  let items = ref (List.rev header_items) in
+  while cur st <> Lexer.KEYWORD "endmodule" do
+    items := parse_item st :: !items
+  done;
+  advance st;
+  { mid; mod_id = name; mod_ports = ports; items = List.rev !items }
+
+let parse_design ?defines (src : string) : design =
+  reset_ids ();
+  let src = Preprocess.run ?defines src in
+  let st = { lx = Lexer.tokenize src; i = 0 } in
+  let mods = ref [] in
+  while cur st <> Lexer.EOF do
+    mods := parse_module st :: !mods
+  done;
+  List.rev !mods
+
+let parse_design_exn = parse_design
+
+let parse_design_result ?defines src =
+  try Ok (parse_design ?defines src) with
+  | Error (msg, line) -> Error (Printf.sprintf "parse error at line %d: %s" line msg)
+  | Lexer.Error (msg, line) ->
+      Error (Printf.sprintf "lex error at line %d: %s" line msg)
+  | Preprocess.Error (msg, line) ->
+      Error (Printf.sprintf "preprocess error at line %d: %s" line msg)

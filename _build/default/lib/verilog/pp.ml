@@ -1,0 +1,222 @@
+(* Verilog source regeneration. CirFix materializes each candidate patch
+   back into HDL text for developer review (paper Sec. 3.7); round-tripping
+   through this printer is also property-tested. *)
+
+open Ast
+
+let rec pp_expr fmt (ex : expr) =
+  match ex.e with
+  | Number v ->
+      Format.fprintf fmt "%d'b%s" (Logic4.Vec.width v) (Logic4.Vec.to_string v)
+  | IntLit n -> Format.fprintf fmt "%d" n
+  | Ident s -> Format.pp_print_string fmt s
+  | Index (s, e) -> Format.fprintf fmt "%s[%a]" s pp_expr e
+  | RangeSel (s, m, l) -> Format.fprintf fmt "%s[%a:%a]" s pp_expr m pp_expr l
+  | Unop (op, a) -> Format.fprintf fmt "(%s%a)" (string_of_unop op) pp_expr a
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (string_of_binop op) pp_expr b
+  | Cond (c, t, f) ->
+      Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr f
+  | Concat es ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_expr)
+        es
+  | Repl (n, e) -> Format.fprintf fmt "{%a{%a}}" pp_expr n pp_expr e
+  | Call (f, []) -> Format.pp_print_string fmt f
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_expr)
+        args
+  | String s -> Format.fprintf fmt "%S" s
+
+let rec pp_lvalue fmt = function
+  | LId s -> Format.pp_print_string fmt s
+  | LIndex (s, e) -> Format.fprintf fmt "%s[%a]" s pp_expr e
+  | LRange (s, m, l) -> Format.fprintf fmt "%s[%a:%a]" s pp_expr m pp_expr l
+  | LConcat lvs ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_lvalue)
+        lvs
+
+let pp_event_spec fmt = function
+  | Posedge e -> Format.fprintf fmt "posedge %a" pp_expr e
+  | Negedge e -> Format.fprintf fmt "negedge %a" pp_expr e
+  | Level e -> pp_expr fmt e
+  | AnyChange -> Format.pp_print_string fmt "*"
+
+let pp_event_specs fmt specs =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.fprintf f " or ")
+    pp_event_spec fmt specs
+
+let pp_delay fmt = function
+  | None -> ()
+  | Some d -> Format.fprintf fmt "#%a " pp_expr d
+
+let rec pp_stmt fmt (st : stmt) =
+  match st.s with
+  | Block (label, body) ->
+      (match label with
+      | Some l -> Format.fprintf fmt "@[<v 2>begin: %s" l
+      | None -> Format.fprintf fmt "@[<v 2>begin");
+      List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) body;
+      Format.fprintf fmt "@]@,end"
+  | Blocking (lhs, d, rhs) ->
+      Format.fprintf fmt "%a = %a%a;" pp_lvalue lhs pp_delay d pp_expr rhs
+  | Nonblocking (lhs, d, rhs) ->
+      Format.fprintf fmt "%a <= %a%a;" pp_lvalue lhs pp_delay d pp_expr rhs
+  | If (c, t, e) -> (
+      Format.fprintf fmt "@[<v 2>if (%a)%a@]" pp_expr c pp_branch t;
+      match e with
+      | None -> ()
+      | Some e -> Format.fprintf fmt "@,@[<v 2>else%a@]" pp_branch (Some e))
+  | CaseStmt (kind, subject, arms, default) ->
+      let kw =
+        match kind with Case -> "case" | Casez -> "casez" | Casex -> "casex"
+      in
+      Format.fprintf fmt "@[<v 2>%s (%a)" kw pp_expr subject;
+      List.iter
+        (fun arm ->
+          Format.fprintf fmt "@,@[<v 2>%a:%a@]"
+            (Format.pp_print_list
+               ~pp_sep:(fun f () -> Format.fprintf f ", ")
+               pp_expr)
+            arm.patterns pp_branch arm.arm_body)
+        arms;
+      (match default with
+      | None -> ()
+      | Some d -> Format.fprintf fmt "@,@[<v 2>default:%a@]" pp_branch (Some d));
+      Format.fprintf fmt "@]@,endcase"
+  | For (init, cond, step, body) ->
+      Format.fprintf fmt "@[<v 2>for (%a %a; %a)%a@]" pp_inline_stmt init
+        pp_expr cond pp_for_step step pp_branch (Some body)
+  | While (c, body) ->
+      Format.fprintf fmt "@[<v 2>while (%a)%a@]" pp_expr c pp_branch (Some body)
+  | Repeat (c, body) ->
+      Format.fprintf fmt "@[<v 2>repeat (%a)%a@]" pp_expr c pp_branch (Some body)
+  | Forever body -> Format.fprintf fmt "@[<v 2>forever%a@]" pp_branch (Some body)
+  | Delay (d, k) -> Format.fprintf fmt "#%a%a" pp_expr d pp_continuation k
+  | EventCtrl (specs, k) ->
+      Format.fprintf fmt "@(%a)%a" pp_event_specs specs pp_continuation k
+  | Wait (c, k) -> Format.fprintf fmt "wait (%a)%a" pp_expr c pp_continuation k
+  | Trigger name -> Format.fprintf fmt "-> %s;" name
+  | SysTask (task, []) -> Format.fprintf fmt "%s;" task
+  | SysTask (task, args) ->
+      Format.fprintf fmt "%s(%a);" task
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_expr)
+        args
+  | Null -> Format.pp_print_string fmt ";"
+
+and pp_branch fmt = function
+  | None -> Format.fprintf fmt " ;"
+  | Some ({ s = Block _; _ } as s) -> Format.fprintf fmt " %a" pp_stmt s
+  | Some s -> Format.fprintf fmt "@,%a" pp_stmt s
+
+and pp_continuation fmt = function
+  | None -> Format.fprintf fmt ";"
+  | Some s -> Format.fprintf fmt " %a" pp_stmt s
+
+(* Statements printed without trailing ';' for for-loop headers. *)
+and pp_inline_stmt fmt (st : stmt) =
+  match st.s with
+  | Blocking (lhs, _, rhs) ->
+      Format.fprintf fmt "%a = %a;" pp_lvalue lhs pp_expr rhs
+  | _ -> pp_stmt fmt st
+
+and pp_for_step fmt (st : stmt) =
+  match st.s with
+  | Blocking (lhs, _, rhs) ->
+      Format.fprintf fmt "%a = %a" pp_lvalue lhs pp_expr rhs
+  | _ -> pp_stmt fmt st
+
+let pp_range fmt { msb; lsb } =
+  Format.fprintf fmt "[%a:%a]" pp_expr msb pp_expr lsb
+
+let pp_opt_range fmt = function
+  | None -> ()
+  | Some r -> Format.fprintf fmt " %a" pp_range r
+
+let string_of_kind = function
+  | Wire -> "wire"
+  | Reg -> "reg"
+  | Integer -> "integer"
+
+let pp_item fmt (item : item) =
+  match item.it with
+  | PortDecl (dir, kind, range, names) ->
+      let dir_s =
+        match dir with Input -> "input" | Output -> "output" | Inout -> "inout"
+      in
+      let kind_s =
+        match kind with None -> "" | Some k -> " " ^ string_of_kind k
+      in
+      Format.fprintf fmt "%s%s%a %s;" dir_s kind_s pp_opt_range range
+        (String.concat ", " names)
+  | NetDecl (kind, range, ds) ->
+      let pp_d fmt d =
+        Format.fprintf fmt "%s" d.d_name;
+        (match d.d_array with
+        | None -> ()
+        | Some r -> Format.fprintf fmt " %a" pp_range r);
+        match d.d_init with
+        | None -> ()
+        | Some e -> Format.fprintf fmt " = %a" pp_expr e
+      in
+      Format.fprintf fmt "%s%a %a;" (string_of_kind kind) pp_opt_range range
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_d)
+        ds
+  | ParamDecl (local, pairs) ->
+      let kw = if local then "localparam" else "parameter" in
+      Format.fprintf fmt "%s %a;" kw
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ", ")
+           (fun f (n, e) -> Format.fprintf f "%s = %a" n pp_expr e))
+        pairs
+  | ContAssign assigns ->
+      Format.fprintf fmt "assign %a;"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ", ")
+           (fun f (lhs, rhs) ->
+             Format.fprintf f "%a = %a" pp_lvalue lhs pp_expr rhs))
+        assigns
+  | Always s -> Format.fprintf fmt "@[<v>always %a@]" pp_stmt s
+  | Initial s -> Format.fprintf fmt "@[<v>initial %a@]" pp_stmt s
+  | Instance { mod_name; inst_name; params; conns } ->
+      Format.fprintf fmt "%s " mod_name;
+      if params <> [] then
+        Format.fprintf fmt "#(%a) "
+          (Format.pp_print_list
+             ~pp_sep:(fun f () -> Format.fprintf f ", ")
+             (fun f (n, e) ->
+               match n with
+               | Some n -> Format.fprintf f ".%s(%a)" n pp_expr e
+               | None -> pp_expr f e))
+          params;
+      let pp_conn fmt = function
+        | Named (p, Some e) -> Format.fprintf fmt ".%s(%a)" p pp_expr e
+        | Named (p, None) -> Format.fprintf fmt ".%s()" p
+        | Positional e -> pp_expr fmt e
+      in
+      Format.fprintf fmt "%s (%a);" inst_name
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_conn)
+        conns
+  | EventDecl names -> Format.fprintf fmt "event %s;" (String.concat ", " names)
+  | DefineStub s -> Format.fprintf fmt "// %s" s
+
+let pp_module fmt (m : module_decl) =
+  Format.fprintf fmt "@[<v>module %s" m.mod_id;
+  if m.mod_ports <> [] then
+    Format.fprintf fmt "(%s)" (String.concat ", " m.mod_ports);
+  Format.fprintf fmt ";@,";
+  List.iter (fun item -> Format.fprintf fmt "  @[<v>%a@]@," pp_item item) m.items;
+  Format.fprintf fmt "endmodule@]"
+
+let pp_design fmt (d : design) =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.fprintf f "@,@,")
+    pp_module fmt d
+
+let design_to_string d = Format.asprintf "@[<v>%a@]" pp_design d
+let module_to_string m = Format.asprintf "%a" pp_module m
+let stmt_to_string s = Format.asprintf "@[<v>%a@]" pp_stmt s
+let expr_to_string e = Format.asprintf "%a" pp_expr e

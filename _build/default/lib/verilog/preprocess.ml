@@ -1,0 +1,121 @@
+(* Compiler-directive preprocessing (IEEE 1364 Sec. 19): `define macros
+   (object-like, no arguments), `undef, `ifdef / `ifndef / `else / `endif
+   conditionals, and `timescale/`default_nettype which are recognized and
+   dropped. Macro uses (`NAME) are substituted textually, recursively up to
+   a fixed depth. Runs before the lexer. *)
+
+exception Error of string * int (* message, line *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+(* Split "NAME rest" after a directive keyword. *)
+let directive_arg line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line i (String.length line - i)) )
+
+let max_expansion_depth = 16
+
+let run ?(defines : (string * string) list = []) (src : string) : string =
+  let macros : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace macros k v) defines;
+  let out = Buffer.create (String.length src) in
+  (* Conditional stack: each frame is [true] when the current branch is
+     live. The whole stack must be live for text to be emitted. *)
+  let cond_stack = ref [] in
+  let live () = List.for_all (fun b -> b) !cond_stack in
+  let lines = String.split_on_char '\n' src in
+  let lineno = ref 0 in
+  (* Substitute `NAME occurrences in one line. *)
+  let rec expand depth line =
+    if depth > max_expansion_depth then
+      raise (Error ("macro expansion too deep", !lineno));
+    let buf = Buffer.create (String.length line) in
+    let n = String.length line in
+    let i = ref 0 in
+    let changed = ref false in
+    while !i < n do
+      if line.[!i] = '`' && !i + 1 < n && is_ident_char line.[!i + 1] then (
+        let j = ref (!i + 1) in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        let name = String.sub line (!i + 1) (!j - !i - 1) in
+        (match Hashtbl.find_opt macros name with
+        | Some body ->
+            changed := true;
+            Buffer.add_string buf body
+        | None -> raise (Error ("undefined macro `" ^ name, !lineno)));
+        i := !j)
+      else (
+        Buffer.add_char buf line.[!i];
+        incr i)
+    done;
+    let s = Buffer.contents buf in
+    if !changed then expand (depth + 1) s else s
+  in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let trimmed = String.trim raw in
+      let is_directive kw =
+        String.length trimmed > String.length kw
+        && String.sub trimmed 0 (String.length kw + 1) = "`" ^ kw
+        || trimmed = "`" ^ kw
+      in
+      if is_directive "define" then (
+        if live () then (
+          let rest =
+            String.trim (String.sub trimmed 7 (String.length trimmed - 7))
+          in
+          let name, body = directive_arg rest in
+          if name = "" then raise (Error ("`define without a name", !lineno));
+          Hashtbl.replace macros name body);
+        Buffer.add_char out '\n')
+      else if is_directive "undef" then (
+        if live () then (
+          let rest =
+            String.trim (String.sub trimmed 6 (String.length trimmed - 6))
+          in
+          Hashtbl.remove macros (fst (directive_arg rest)));
+        Buffer.add_char out '\n')
+      else if is_directive "ifdef" || is_directive "ifndef" then (
+        let neg = is_directive "ifndef" in
+        let klen = if neg then 7 else 6 in
+        let name =
+          String.trim (String.sub trimmed klen (String.length trimmed - klen))
+        in
+        let defined = Hashtbl.mem macros (fst (directive_arg name)) in
+        cond_stack := (if neg then not defined else defined) :: !cond_stack;
+        Buffer.add_char out '\n')
+      else if is_directive "else" then (
+        (match !cond_stack with
+        | b :: rest -> cond_stack := (not b) :: rest
+        | [] -> raise (Error ("`else without `ifdef", !lineno)));
+        Buffer.add_char out '\n')
+      else if is_directive "endif" then (
+        (match !cond_stack with
+        | _ :: rest -> cond_stack := rest
+        | [] -> raise (Error ("`endif without `ifdef", !lineno)));
+        Buffer.add_char out '\n')
+      else if
+        is_directive "timescale" || is_directive "default_nettype"
+        || is_directive "resetall" || is_directive "celldefine"
+        || is_directive "endcelldefine" || is_directive "include"
+      then
+        (* Recognized but irrelevant to this simulator ( `include would
+           need a filesystem; designs here are single-source). *)
+        Buffer.add_char out '\n'
+      else if live () then (
+        Buffer.add_string out (expand 0 raw);
+        Buffer.add_char out '\n')
+      else Buffer.add_char out '\n')
+    lines;
+  if !cond_stack <> [] then raise (Error ("unterminated `ifdef", !lineno));
+  Buffer.contents out

@@ -1,0 +1,1 @@
+test/test_bench_suite.ml: Alcotest Bench_suite Cirfix List Printf Sim String Verilog

@@ -1,0 +1,1 @@
+test/test_cirfix.ml: Alcotest Bench_suite Cirfix Corpus Float List Logic4 Option QCheck QCheck_alcotest Random Sim Str String Vec Verilog

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bench_suite Char Cirfix List Random String Verilog

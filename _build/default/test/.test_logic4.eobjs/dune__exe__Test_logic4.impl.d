@@ -1,0 +1,1 @@
+test/test_logic4.ml: Alcotest Bit List Logic4 QCheck QCheck_alcotest String Vec

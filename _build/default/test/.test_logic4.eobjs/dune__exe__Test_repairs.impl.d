@@ -1,0 +1,1 @@
+test/test_repairs.ml: Alcotest Bench_suite Cirfix List Logic4 Printf Verilog

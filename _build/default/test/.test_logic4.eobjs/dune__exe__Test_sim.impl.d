@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Cirfix List Logic4 Sim Str Vec Verilog

@@ -1,0 +1,1 @@
+test/test_tooling.ml: Alcotest Corpus List Logic4 Sim Str String Verilog

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Ast Ast_utils Corpus Lexer List Logic4 Option Parser Pp Printf Str Verilog

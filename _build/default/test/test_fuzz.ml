@@ -1,0 +1,153 @@
+(* Fuzz tests over the repair pipeline: random operator/template draws
+   applied to real benchmark modules must keep every downstream stage total
+   — patch application never raises, the materialized module prints to
+   valid Verilog that re-parses, and evaluation always returns an outcome
+   (possibly Compile_error / Sim_diverged, never an exception). *)
+
+let modules () =
+  List.filter_map
+    (fun (p : Bench_suite.Projects.t) ->
+      match
+        Verilog.Parser.parse_design_result (Bench_suite.Projects.design_source p)
+      with
+      | Ok mods ->
+          List.find_opt
+            (fun (m : Verilog.Ast.module_decl) -> m.mod_id = p.target)
+            mods
+      | Error _ -> None)
+    [
+      Bench_suite.Projects.find "counter";
+      Bench_suite.Projects.find "fsm_full";
+      Bench_suite.Projects.find "lshift_reg";
+      Bench_suite.Projects.find "i2c";
+    ]
+
+(* Draw a random edit the way the GP loop does. *)
+let random_edit rng cfg m =
+  let stmts = Verilog.Ast_utils.stmts_of_module m in
+  if Random.State.float rng 1.0 < 0.3 then
+    Cirfix.Mutate.template_edit rng m
+      ~fl:
+        (Cirfix.Fault_loc.IdSet.of_list
+           (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts))
+  else Cirfix.Mutate.mutate rng cfg m ~fl_stmts:stmts
+
+let test_random_patches_total () =
+  let cfg = Cirfix.Config.default in
+  let rng = Random.State.make [| 2024 |] in
+  List.iter
+    (fun original ->
+      for _trial = 1 to 40 do
+        (* Stack up to 4 random edits. *)
+        let patch = ref [] in
+        let m = ref original in
+        for _ = 1 to 1 + Random.State.int rng 4 do
+          match random_edit rng cfg !m with
+          | Some e ->
+              patch := !patch @ [ e ];
+              m := Cirfix.Patch.apply original !patch
+          | None -> ()
+        done;
+        (* The materialized module prints and re-parses. *)
+        let printed =
+          Verilog.Pp.design_to_string [ { !m with mod_id = "fuzzed" } ]
+        in
+        match Verilog.Parser.parse_design_result printed with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "mutant no longer parses: %s\npatch: %s\n%s" e
+              (Cirfix.Patch.to_string !patch)
+              printed
+      done)
+    (modules ())
+
+let test_random_patches_evaluate () =
+  (* Full evaluation of random mutants of the counter: every outcome is a
+     well-formed record, never an escaped exception. *)
+  let d = Bench_suite.Defects.find 4 in
+  let problem = Bench_suite.Defects.problem d in
+  let original = Cirfix.Problem.target_module problem in
+  let cfg = Cirfix.Config.default in
+  let ev = Cirfix.Evaluate.create cfg problem in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 120 do
+    let patch = ref [] in
+    for _ = 1 to 1 + Random.State.int rng 3 do
+      match random_edit rng cfg (Cirfix.Patch.apply original !patch) with
+      | Some e -> patch := !patch @ [ e ]
+      | None -> ()
+    done;
+    let o = Cirfix.Evaluate.eval_patch ev original !patch in
+    Alcotest.(check bool) "fitness in range" true
+      (o.fitness >= 0.0 && o.fitness <= 1.0)
+  done
+
+let test_crossover_fuzz () =
+  (* Crossover of arbitrary patch pairs conserves edits and applies. *)
+  let d = Bench_suite.Defects.find 4 in
+  let problem = Bench_suite.Defects.problem d in
+  let original = Cirfix.Problem.target_module problem in
+  let cfg = Cirfix.Config.default in
+  let rng = Random.State.make [| 99 |] in
+  let random_patch () =
+    let p = ref [] in
+    for _ = 1 to Random.State.int rng 5 do
+      match random_edit rng cfg original with
+      | Some e -> p := e :: !p
+      | None -> ()
+    done;
+    !p
+  in
+  for _ = 1 to 60 do
+    let a = random_patch () and b = random_patch () in
+    let c1, c2 = Cirfix.Mutate.crossover rng a b in
+    Alcotest.(check int) "conserved"
+      (List.length a + List.length b)
+      (List.length c1 + List.length c2);
+    ignore (Cirfix.Patch.apply original c1);
+    ignore (Cirfix.Patch.apply original c2)
+  done
+
+let test_minimize_fuzz () =
+  (* ddmin over random predicates returns a subset satisfying the test. *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int rng 12 in
+    let items = List.init n (fun i -> i) in
+    let needles =
+      List.filter (fun _ -> Random.State.bool rng) items |> function
+      | [] -> [ 0 ]
+      | l -> l
+    in
+    let test subset = List.for_all (fun x -> List.mem x subset) needles in
+    let r = Cirfix.Minimize.ddmin test items in
+    Alcotest.(check bool) "result satisfies" true (test r);
+    Alcotest.(check int) "one-minimal" (List.length needles) (List.length r)
+  done
+
+let test_random_sources_lex_or_fail_cleanly () =
+  (* Arbitrary byte strings either tokenize or raise Lexer.Error — nothing
+     else escapes. *)
+  let rng = Random.State.make [| 31337 |] in
+  for _ = 1 to 300 do
+    let len = Random.State.int rng 80 in
+    let s =
+      String.init len (fun _ -> Char.chr (32 + Random.State.int rng 95))
+    in
+    match Verilog.Parser.parse_design_result s with
+    | Ok _ | Error _ -> ()
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "mutants reparse" `Slow test_random_patches_total;
+          Alcotest.test_case "mutants evaluate" `Slow test_random_patches_evaluate;
+          Alcotest.test_case "crossover" `Quick test_crossover_fuzz;
+          Alcotest.test_case "minimize" `Quick test_minimize_fuzz;
+          Alcotest.test_case "lexer robustness" `Quick
+            test_random_sources_lex_or_fail_cleanly;
+        ] );
+    ]

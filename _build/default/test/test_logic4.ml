@@ -1,0 +1,281 @@
+(* Unit and property tests for the four-state logic substrate. *)
+
+open Logic4
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+
+let v s = Vec.of_string s
+let check_vec what expected actual = Alcotest.check vec what expected actual
+
+(* --- Bit ---------------------------------------------------------------- *)
+
+let test_bit_chars () =
+  Alcotest.(check char) "0" '0' (Bit.to_char Bit.V0);
+  Alcotest.(check char) "1" '1' (Bit.to_char Bit.V1);
+  Alcotest.(check char) "x" 'x' (Bit.to_char Bit.X);
+  Alcotest.(check char) "z" 'z' (Bit.to_char Bit.Z);
+  List.iter
+    (fun b -> Alcotest.(check bool) "roundtrip" true (Bit.of_char (Bit.to_char b) = b))
+    [ Bit.V0; Bit.V1; Bit.X; Bit.Z ]
+
+let test_bit_tables () =
+  (* 0 dominates AND, 1 dominates OR, even against x/z. *)
+  Alcotest.(check bool) "0&x" true (Bit.log_and Bit.V0 Bit.X = Bit.V0);
+  Alcotest.(check bool) "z&0" true (Bit.log_and Bit.Z Bit.V0 = Bit.V0);
+  Alcotest.(check bool) "1|x" true (Bit.log_or Bit.V1 Bit.X = Bit.V1);
+  Alcotest.(check bool) "x|z" true (Bit.log_or Bit.X Bit.Z = Bit.X);
+  Alcotest.(check bool) "1&z=x" true (Bit.log_and Bit.V1 Bit.Z = Bit.X);
+  Alcotest.(check bool) "x^1" true (Bit.log_xor Bit.X Bit.V1 = Bit.X);
+  Alcotest.(check bool) "1^1" true (Bit.log_xor Bit.V1 Bit.V1 = Bit.V0);
+  Alcotest.(check bool) "~x" true (Bit.log_not Bit.X = Bit.X);
+  Alcotest.(check bool) "~z" true (Bit.log_not Bit.Z = Bit.X)
+
+(* --- Vec construction --------------------------------------------------- *)
+
+let test_of_string () =
+  check_vec "parse" (Vec.of_int 4 5) (v "0101");
+  Alcotest.(check int) "width" 6 (Vec.width (v "01_0101"));
+  Alcotest.(check string) "xz kept" "1x0z" (Vec.to_string (v "1x0z"));
+  Alcotest.check_raises "empty" (Invalid_argument "Vec.of_string: empty")
+    (fun () -> ignore (v ""))
+
+let test_of_int_to_int () =
+  Alcotest.(check (option int)) "42" (Some 42) (Vec.to_int (Vec.of_int 8 42));
+  Alcotest.(check (option int)) "truncate" (Some 2) (Vec.to_int (Vec.of_int 2 6));
+  Alcotest.(check (option int)) "x none" None (Vec.to_int (v "1x"));
+  Alcotest.(check (option int)) "z none" None (Vec.to_int (v "z0"));
+  Alcotest.(check (option int)) "zero" (Some 0) (Vec.to_int (Vec.zero 64))
+
+let test_msb_lsb_order () =
+  (* of_string is MSB first; get is LSB-indexed. *)
+  let x = v "100" in
+  Alcotest.(check bool) "bit0" true (Vec.get x 0 = Bit.V0);
+  Alcotest.(check bool) "bit2" true (Vec.get x 2 = Bit.V1);
+  Alcotest.(check bool) "oob reads 0" true (Vec.get x 5 = Bit.V0)
+
+let test_resize () =
+  check_vec "extend" (v "0011") (Vec.resize 4 (v "11"));
+  check_vec "truncate" (v "11") (Vec.resize 2 (v "0111"));
+  Alcotest.check_raises "bad width" (Invalid_argument "Vec.resize: width must be positive")
+    (fun () -> ignore (Vec.resize 0 (v "1")))
+
+let test_to_bool () =
+  Alcotest.(check (option bool)) "any 1" (Some true) (Vec.to_bool (v "0x10"));
+  Alcotest.(check (option bool)) "all 0" (Some false) (Vec.to_bool (v "000"));
+  Alcotest.(check (option bool)) "x no 1" None (Vec.to_bool (v "0x0"))
+
+(* --- Bitwise and reduction ---------------------------------------------- *)
+
+let test_bitwise () =
+  check_vec "and" (v "0001") (Vec.logand (v "0011") (v "0101"));
+  check_vec "or" (v "0111") (Vec.logor (v "0011") (v "0101"));
+  check_vec "xor" (v "0110") (Vec.logxor (v "0011") (v "0101"));
+  check_vec "not" (v "1100") (Vec.lognot (v "0011"));
+  (* Width mismatch zero-extends the narrow side. *)
+  check_vec "widths" (v "0001") (Vec.logand (v "1") (v "0011"));
+  check_vec "x prop" (v "x0") (Vec.logand (v "x1") (v "10"))
+
+let test_reduction () =
+  check_vec "rand 1" (v "1") (Vec.reduce_and (v "111"));
+  check_vec "rand 0" (v "0") (Vec.reduce_and (v "101"));
+  check_vec "rand 0 beats x" (v "0") (Vec.reduce_and (v "x0"));
+  check_vec "ror" (v "1") (Vec.reduce_or (v "0x1"));
+  check_vec "rxor" (v "1") (Vec.reduce_xor (v "0111"));
+  check_vec "rxor x" (v "x") (Vec.reduce_xor (v "01x"))
+
+(* --- Arithmetic ---------------------------------------------------------- *)
+
+let test_add_sub () =
+  check_vec "add" (Vec.of_int 8 100) (Vec.add (Vec.of_int 8 58) (Vec.of_int 8 42));
+  check_vec "add wraps" (Vec.of_int 4 0) (Vec.add (Vec.of_int 4 15) (Vec.of_int 4 1));
+  check_vec "sub" (Vec.of_int 8 16) (Vec.sub (Vec.of_int 8 58) (Vec.of_int 8 42));
+  check_vec "sub wraps" (Vec.of_int 4 15) (Vec.sub (Vec.of_int 4 0) (Vec.of_int 4 1));
+  check_vec "x poisons" (Vec.all_x 4) (Vec.add (v "1x00") (Vec.of_int 4 1));
+  check_vec "neg" (Vec.of_int 8 254) (Vec.neg (Vec.of_int 8 2))
+
+let test_mul_div_rem () =
+  check_vec "mul" (Vec.of_int 8 56) (Vec.mul (Vec.of_int 8 7) (Vec.of_int 8 8));
+  check_vec "mul wraps" (Vec.of_int 4 8) (Vec.mul (Vec.of_int 4 6) (Vec.of_int 4 12));
+  check_vec "div" (Vec.of_int 8 6) (Vec.div (Vec.of_int 8 55) (Vec.of_int 8 9));
+  check_vec "rem" (Vec.of_int 8 1) (Vec.rem (Vec.of_int 8 55) (Vec.of_int 8 9));
+  check_vec "div by zero" (Vec.all_x 8) (Vec.div (Vec.of_int 8 55) (Vec.zero 8));
+  check_vec "rem by zero" (Vec.all_x 8) (Vec.rem (Vec.of_int 8 55) (Vec.zero 8))
+
+let test_wide_arith () =
+  (* 100-bit arithmetic must be exact (beyond the OCaml int range). *)
+  let one = Vec.of_int 100 1 in
+  let big = Vec.shift_left one (Vec.of_int 8 80) in
+  let big_minus_1 = Vec.sub big one in
+  Alcotest.(check int) "width" 100 (Vec.width big_minus_1);
+  (* 2^80 - 1 is eighty ones. *)
+  let expected = Vec.resize 100 (Vec.ones 80) in
+  check_vec "2^80-1" expected big_minus_1;
+  check_vec "round trip" big (Vec.add big_minus_1 one)
+
+let test_shifts () =
+  check_vec "shl" (v "1000") (Vec.shift_left (v "0001") (Vec.of_int 3 3));
+  check_vec "shr" (v "0001") (Vec.shift_right (v "1000") (Vec.of_int 3 3));
+  check_vec "shl overflow" (v "0000") (Vec.shift_left (v "1000") (Vec.of_int 3 1));
+  check_vec "x amount" (Vec.all_x 4) (Vec.shift_left (v "0001") (v "x"))
+
+(* --- Comparisons --------------------------------------------------------- *)
+
+let test_relational () =
+  check_vec "eq t" (v "1") (Vec.eq (Vec.of_int 4 5) (Vec.of_int 4 5));
+  check_vec "eq f" (v "0") (Vec.eq (Vec.of_int 4 5) (Vec.of_int 4 6));
+  check_vec "eq x" (v "x") (Vec.eq (v "1x") (v "10"));
+  check_vec "lt widths" (v "1") (Vec.lt (v "1") (Vec.of_int 8 2));
+  check_vec "ge" (v "1") (Vec.ge (Vec.of_int 8 9) (Vec.of_int 8 9));
+  check_vec "neq" (v "1") (Vec.neq (Vec.of_int 4 1) (Vec.of_int 4 2))
+
+let test_case_eq () =
+  (* === compares x/z literally and always yields 0/1. *)
+  check_vec "x===x" (v "1") (Vec.case_eq (v "1x") (v "1x"));
+  check_vec "x===0" (v "0") (Vec.case_eq (v "1x") (v "10"));
+  check_vec "z!==x" (v "1") (Vec.case_neq (v "z") (v "x"))
+
+let test_logical () =
+  check_vec "&& def" (v "1") (Vec.log_and (v "10") (v "01"));
+  check_vec "&& 0 short" (v "0") (Vec.log_and (v "00") (v "xx"));
+  check_vec "&& x" (v "x") (Vec.log_and (v "x0") (v "01"));
+  check_vec "|| 1 short" (v "1") (Vec.log_or (v "10") (v "xx"));
+  check_vec "! x" (v "x") (Vec.log_not (v "x0"));
+  check_vec "! 0" (v "1") (Vec.log_not (v "00"))
+
+(* --- Structure ops -------------------------------------------------------- *)
+
+let test_concat_replicate () =
+  (* concat hi lo: hi occupies the top bits, as in {hi, lo}. *)
+  check_vec "concat" (v "1100") (Vec.concat (v "11") (v "00"));
+  check_vec "replicate" (v "101010") (Vec.replicate 3 (v "10"));
+  Alcotest.(check int) "width" 12 (Vec.width (Vec.replicate 3 (v "1010")))
+
+let test_select_insert () =
+  check_vec "select" (v "11") (Vec.select (v "0110") ~msb:2 ~lsb:1);
+  check_vec "select oob is x" (v "x1") (Vec.select (v "10") ~msb:2 ~lsb:1);
+  check_vec "insert" (v "1011") (Vec.insert ~into:(v "1001") ~msb:1 ~lsb:1 (v "1"));
+  check_vec "insert resize" (v "0110") (Vec.insert ~into:(v "0000") ~msb:2 ~lsb:1 (Vec.of_int 8 3));
+  check_vec "insert oob ignored" (v "01") (Vec.insert ~into:(v "01") ~msb:5 ~lsb:5 (v "1"))
+
+let test_set_get () =
+  let a = Vec.zero 4 in
+  let b = Vec.set a 2 Bit.V1 in
+  check_vec "set" (v "0100") b;
+  check_vec "original intact" (v "0000") a;
+  check_vec "oob set ignored" (v "0100") (Vec.set b 9 Bit.V1)
+
+(* --- QCheck properties ---------------------------------------------------- *)
+
+let small_int_pair w =
+  let m = (1 lsl w) - 1 in
+  QCheck.pair (QCheck.int_bound m) (QCheck.int_bound m)
+
+(* Arithmetic on defined vectors agrees with machine arithmetic mod 2^w. *)
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"vec add = int add mod 2^12" ~count:500
+    (small_int_pair 12) (fun (a, b) ->
+      Vec.to_int (Vec.add (Vec.of_int 12 a) (Vec.of_int 12 b))
+      = Some ((a + b) land 0xFFF))
+
+let prop_sub_matches_int =
+  QCheck.Test.make ~name:"vec sub = int sub mod 2^12" ~count:500
+    (small_int_pair 12) (fun (a, b) ->
+      Vec.to_int (Vec.sub (Vec.of_int 12 a) (Vec.of_int 12 b))
+      = Some ((a - b) land 0xFFF))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"vec mul = int mul mod 2^10" ~count:500
+    (small_int_pair 10) (fun (a, b) ->
+      Vec.to_int (Vec.mul (Vec.of_int 10 a) (Vec.of_int 10 b))
+      = Some (a * b land 0x3FF))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"a = (a/b)*b + a%b" ~count:500 (small_int_pair 10)
+    (fun (a, b) ->
+      QCheck.assume (b > 0);
+      let va = Vec.of_int 10 a and vb = Vec.of_int 10 b in
+      let q = Vec.div va vb and r = Vec.rem va vb in
+      Vec.to_int (Vec.add (Vec.mul q vb) r) = Some a)
+
+let prop_string_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun s -> s)
+      QCheck.Gen.(
+        let bit = oneofl [ '0'; '1'; 'x'; 'z' ] in
+        map (fun l -> String.init (List.length l) (List.nth l))
+          (list_size (int_range 1 40) bit))
+  in
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:300 gen
+    (fun s -> Vec.to_string (Vec.of_string s) = s)
+
+let prop_concat_select =
+  QCheck.Test.make ~name:"select recovers concat parts" ~count:300
+    (small_int_pair 8) (fun (a, b) ->
+      let va = Vec.of_int 8 a and vb = Vec.of_int 8 b in
+      let c = Vec.concat va vb in
+      Vec.equal (Vec.select c ~msb:15 ~lsb:8) va
+      && Vec.equal (Vec.select c ~msb:7 ~lsb:0) vb)
+
+let prop_lognot_involutive =
+  QCheck.Test.make ~name:"~~v = v on defined vectors" ~count:300
+    (QCheck.int_bound 0xFFFF) (fun a ->
+      let va = Vec.of_int 16 a in
+      Vec.equal (Vec.lognot (Vec.lognot va)) va)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"lt/eq/gt partition defined pairs" ~count:500
+    (small_int_pair 12) (fun (a, b) ->
+      let va = Vec.of_int 12 a and vb = Vec.of_int 12 b in
+      let one v = Vec.to_int v = Some 1 in
+      let count =
+        (if one (Vec.lt va vb) then 1 else 0)
+        + (if one (Vec.eq va vb) then 1 else 0)
+        + if one (Vec.gt va vb) then 1 else 0
+      in
+      count = 1)
+
+let () =
+  Alcotest.run "logic4"
+    [
+      ( "bit",
+        [
+          Alcotest.test_case "char conversions" `Quick test_bit_chars;
+          Alcotest.test_case "truth tables" `Quick test_bit_tables;
+        ] );
+      ( "vec-construct",
+        [
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "of_int/to_int" `Quick test_of_int_to_int;
+          Alcotest.test_case "bit order" `Quick test_msb_lsb_order;
+          Alcotest.test_case "resize" `Quick test_resize;
+          Alcotest.test_case "to_bool" `Quick test_to_bool;
+        ] );
+      ( "vec-ops",
+        [
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "reduction" `Quick test_reduction;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul/div/rem" `Quick test_mul_div_rem;
+          Alcotest.test_case "wide arithmetic" `Quick test_wide_arith;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "relational" `Quick test_relational;
+          Alcotest.test_case "case equality" `Quick test_case_eq;
+          Alcotest.test_case "logical" `Quick test_logical;
+          Alcotest.test_case "concat/replicate" `Quick test_concat_replicate;
+          Alcotest.test_case "select/insert" `Quick test_select_insert;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+        ] );
+      ( "vec-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_matches_int;
+            prop_sub_matches_int;
+            prop_mul_matches_int;
+            prop_divmod_identity;
+            prop_string_roundtrip;
+            prop_concat_select;
+            prop_lognot_involutive;
+            prop_compare_total;
+          ] );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the developer-facing tooling around the core pipeline: the
+   lint pass, statement coverage, the ASCII waveform renderer, and the VCD
+   structure beyond the smoke test in test_sim. *)
+
+let parse src =
+  match Verilog.Parser.parse_design_result src with
+  | Ok d -> d
+  | Error e -> Alcotest.fail e
+
+let parse_m src =
+  match parse src with [ m ] -> m | _ -> Alcotest.fail "one module expected"
+
+let rules findings = List.map (fun (f : Verilog.Lint.finding) -> f.rule) findings
+
+(* --- Lint ---------------------------------------------------------------- *)
+
+let test_lint_clean_design () =
+  List.iter
+    (fun file ->
+      let d = parse (Corpus.read file) in
+      List.iter
+        (fun (m, findings) ->
+          let errors =
+            List.filter
+              (fun (f : Verilog.Lint.finding) -> f.severity = Verilog.Lint.Error)
+              findings
+          in
+          Alcotest.(check int) (file ^ "/" ^ m ^ " error-free") 0
+            (List.length errors))
+        (Verilog.Lint.check_design d))
+    [ "counter.v"; "fsm_full.v"; "i2c.v"; "sdram_controller.v" ]
+
+let test_lint_incomplete_sensitivity () =
+  let m =
+    parse_m
+      "module m(a, b, y); input a, b; output y; reg y;\n\
+       always @(a) y = a & b;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "flags b" true
+    (List.mem "incomplete-sensitivity" (rules (Verilog.Lint.check_module m)))
+
+let test_lint_star_is_complete () =
+  let m =
+    parse_m
+      "module m(a, b, y); input a, b; output y; reg y;\n\
+       always @(*) y = a & b;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "no sensitivity finding" false
+    (List.mem "incomplete-sensitivity" (rules (Verilog.Lint.check_module m)))
+
+let test_lint_latch_inference () =
+  let m =
+    parse_m
+      "module m(en, d, q); input en, d; output q; reg q;\n\
+       always @(en or d) begin\n\
+       if (en) q = d;\n\
+       end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "latch" true
+    (List.mem "inferred-latch" (rules (Verilog.Lint.check_module m)));
+  (* The complete version is clean. *)
+  let m2 =
+    parse_m
+      "module m(en, d, q); input en, d; output q; reg q;\n\
+       always @(en or d) begin\n\
+       if (en) q = d; else q = 1'b0;\n\
+       end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "no latch" false
+    (List.mem "inferred-latch" (rules (Verilog.Lint.check_module m2)))
+
+let test_lint_case_default_completes () =
+  let m =
+    parse_m
+      "module m(s, q); input [1:0] s; output q; reg q;\n\
+       always @(s) begin\n\
+       case (s) 2'b00: q = 1; default: q = 0; endcase\n\
+       end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "case with default is complete" false
+    (List.mem "inferred-latch" (rules (Verilog.Lint.check_module m)))
+
+let test_lint_assignment_styles () =
+  let comb_nba =
+    parse_m
+      "module m(a, y); input a; output y; reg y;\n\
+       always @(a) y <= a;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "nba in comb" true
+    (List.mem "nonblocking-in-comb" (rules (Verilog.Lint.check_module comb_nba)));
+  let clocked_blk =
+    parse_m
+      "module m(c, a, y); input c, a; output y; reg y;\n\
+       always @(posedge c) y = a;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "blocking in clocked" true
+    (List.mem "blocking-in-clocked"
+       (rules (Verilog.Lint.check_module clocked_blk)))
+
+let test_lint_mixed_sensitivity () =
+  let m =
+    parse_m
+      "module m(c, a, y); input c, a; output y; reg y;\n\
+       always @(posedge c or a) y <= a;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "mixed" true
+    (List.mem "mixed-sensitivity" (rules (Verilog.Lint.check_module m)))
+
+let test_lint_free_running_always () =
+  let m =
+    parse_m "module m(y); output y; reg y;\nalways y = !y;\nendmodule"
+  in
+  Alcotest.(check bool) "free running" true
+    (List.mem "free-running-always" (rules (Verilog.Lint.check_module m)))
+
+let test_lint_multiple_drivers () =
+  let m =
+    parse_m
+      "module m(a, y); input a; output y; reg r; wire y;\n\
+       assign y = r;\n\
+       assign r = a;\n\
+       endmodule"
+  in
+  (* r is driven by assign while also being a reg target elsewhere? Use an
+     always block to create the conflict instead. *)
+  ignore m;
+  let m2 =
+    parse_m
+      "module m(a, c, y); input a, c; output y; wire y;\n\
+       assign y = a;\n\
+       always @(posedge c) y <= a;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "multi driver" true
+    (List.mem "multiple-drivers" (rules (Verilog.Lint.check_module m2)))
+
+let test_lint_parameters_not_flagged () =
+  let m =
+    parse_m
+      "module m(s, y); input s; output y; reg y;\n\
+       parameter ON = 1'b1;\n\
+       always @(s) y = s & ON;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "parameter exempt" false
+    (List.mem "incomplete-sensitivity" (rules (Verilog.Lint.check_module m)))
+
+(* --- Coverage -------------------------------------------------------------- *)
+
+let coverage_of src ~top =
+  let d = parse src in
+  let elab = Sim.Elaborate.elaborate d ~top in
+  Sim.Runtime.enable_coverage elab.st;
+  ignore (Sim.Engine.run elab);
+  Sim.Coverage.report elab.st d
+
+let test_coverage_full () =
+  let reports =
+    coverage_of
+      "module top; reg a; initial begin a = 0; a = 1; #1 $finish; end endmodule"
+      ~top:"top"
+  in
+  let r = List.hd reports in
+  Alcotest.(check int) "all covered" r.mr_total r.mr_covered;
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 (Sim.Coverage.ratio r)
+
+let test_coverage_dead_branch () =
+  let reports =
+    coverage_of
+      "module top; reg a; reg [1:0] r;\n\
+       initial begin a = 0;\n\
+       if (a) r = 1; else r = 2;\n\
+       #1 $finish; end\n\
+       endmodule"
+      ~top:"top"
+  in
+  let r = List.hd reports in
+  Alcotest.(check bool) "dead then-branch" true (r.mr_covered < r.mr_total);
+  let dead =
+    List.filter (fun (sr : Sim.Coverage.stmt_report) -> sr.sr_count = 0) r.mr_stmts
+  in
+  Alcotest.(check int) "exactly one uncovered" 1 (List.length dead)
+
+let test_coverage_counts () =
+  let reports =
+    coverage_of
+      "module top; integer i; reg [7:0] s;\n\
+       initial begin s = 0;\n\
+       for (i = 0; i < 5; i = i + 1) s = s + 1;\n\
+       #1 $finish; end\n\
+       endmodule"
+      ~top:"top"
+  in
+  let r = List.hd reports in
+  let body_count =
+    List.fold_left
+      (fun acc (sr : Sim.Coverage.stmt_report) -> max acc sr.sr_count)
+      0 r.mr_stmts
+  in
+  (* The loop body runs 5 times. *)
+  Alcotest.(check bool) "loop body count >= 5" true (body_count >= 5)
+
+let test_coverage_disabled_is_free () =
+  let d = parse "module top; reg a; initial begin a = 1; #1 $finish; end endmodule" in
+  let elab = Sim.Elaborate.elaborate d ~top:"top" in
+  ignore (Sim.Engine.run elab);
+  let r = List.hd (Sim.Coverage.report elab.st d) in
+  (* Without enable_coverage every count reads as zero. *)
+  Alcotest.(check int) "no counts" 0 r.mr_covered
+
+(* --- Wave renderer ------------------------------------------------------------ *)
+
+let sample t values : Sim.Recorder.sample =
+  { t; values = List.map (fun (n, s) -> (n, Logic4.Vec.of_string s)) values }
+
+let test_wave_levels () =
+  let tr = [ sample 5 [ ("q", "0") ]; sample 15 [ ("q", "1") ]; sample 25 [ ("q", "x") ] ] in
+  let out = Sim.Wave.render tr in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "two rows + blank" 3 (List.length lines);
+  let qline = List.nth lines 1 in
+  Alcotest.(check bool) "starts with name" true
+    (String.length qline > 4 && String.sub qline 0 1 = "q");
+  Alcotest.(check bool) "level chars present" true
+    (String.contains qline '_' && String.contains qline '-'
+   && String.contains qline 'x')
+
+let test_wave_vector_changes () =
+  let tr =
+    [
+      sample 5 [ ("v", "0001") ];
+      sample 15 [ ("v", "0001") ];
+      sample 25 [ ("v", "0010") ];
+    ]
+  in
+  let out = Sim.Wave.render tr in
+  (* value printed at first sample and at the change, not in between *)
+  Alcotest.(check bool) "has 1" true
+    (try ignore (Str.search_forward (Str.regexp "1") out 0); true
+     with Not_found -> false);
+  Alcotest.(check bool) "change marker" true
+    (try ignore (Str.search_forward (Str.regexp_string "|2") out 0); true
+     with Not_found -> false)
+
+let test_wave_empty () =
+  Alcotest.(check string) "empty" "(empty trace)\n" (Sim.Wave.render [])
+
+let test_wave_diff () =
+  let e = [ sample 5 [ ("q", "1") ]; sample 15 [ ("q", "0") ] ] in
+  let a = [ sample 5 [ ("q", "1") ]; sample 15 [ ("q", "1") ] ] in
+  let out = Sim.Wave.render_diff ~expected:e ~actual:a in
+  Alcotest.(check bool) "reports mismatch time" true
+    (try ignore (Str.search_forward (Str.regexp_string "mismatching sample times: 15") out 0); true
+     with Not_found -> false);
+  let same = Sim.Wave.render_diff ~expected:e ~actual:e in
+  Alcotest.(check bool) "agreement reported" true
+    (try ignore (Str.search_forward (Str.regexp_string "agree at every") same 0); true
+     with Not_found -> false)
+
+(* --- VCD structure -------------------------------------------------------------- *)
+
+let test_vcd_codes () =
+  (* identifier codes are unique over a large range *)
+  let codes = List.init 500 Sim.Vcd.code_of_int in
+  Alcotest.(check int) "unique codes" 500
+    (List.length (List.sort_uniq compare codes))
+
+let test_vcd_scalar_and_vector_syntax () =
+  let d =
+    parse
+      "module top; reg a; reg [3:0] v;\n\
+       initial begin a = 0; v = 4'd9; #5 a = 1; #1 $finish; end\n\
+       endmodule"
+  in
+  let elab = Sim.Elaborate.elaborate d ~top:"top" in
+  let vcd = Sim.Vcd.attach elab.st in
+  ignore (Sim.Engine.run elab);
+  let text = Sim.Vcd.to_string vcd in
+  let has needle =
+    try ignore (Str.search_forward (Str.regexp_string needle) text 0); true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "vector uses b prefix" true (has "b1001 ");
+  Alcotest.(check bool) "var widths declared" true (has "$var reg 4");
+  Alcotest.(check bool) "timestamp 5" true (has "#5")
+
+let () =
+  Alcotest.run "tooling"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "benchmark designs clean" `Quick test_lint_clean_design;
+          Alcotest.test_case "incomplete sensitivity" `Quick
+            test_lint_incomplete_sensitivity;
+          Alcotest.test_case "star complete" `Quick test_lint_star_is_complete;
+          Alcotest.test_case "latch inference" `Quick test_lint_latch_inference;
+          Alcotest.test_case "case default" `Quick test_lint_case_default_completes;
+          Alcotest.test_case "assignment styles" `Quick test_lint_assignment_styles;
+          Alcotest.test_case "mixed sensitivity" `Quick test_lint_mixed_sensitivity;
+          Alcotest.test_case "free running" `Quick test_lint_free_running_always;
+          Alcotest.test_case "multiple drivers" `Quick test_lint_multiple_drivers;
+          Alcotest.test_case "parameters exempt" `Quick
+            test_lint_parameters_not_flagged;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "full" `Quick test_coverage_full;
+          Alcotest.test_case "dead branch" `Quick test_coverage_dead_branch;
+          Alcotest.test_case "counts" `Quick test_coverage_counts;
+          Alcotest.test_case "disabled" `Quick test_coverage_disabled_is_free;
+        ] );
+      ( "wave",
+        [
+          Alcotest.test_case "levels" `Quick test_wave_levels;
+          Alcotest.test_case "vector changes" `Quick test_wave_vector_changes;
+          Alcotest.test_case "empty" `Quick test_wave_empty;
+          Alcotest.test_case "diff" `Quick test_wave_diff;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "codes unique" `Quick test_vcd_codes;
+          Alcotest.test_case "syntax" `Quick test_vcd_scalar_and_vector_syntax;
+        ] );
+    ]

@@ -1,0 +1,489 @@
+(* Tests for the Verilog frontend: lexer, parser, pretty printer
+   round-trips, and the AST rewriting machinery the repair engine uses. *)
+
+open Verilog
+
+let parse_m src =
+  match Parser.parse_design_result src with
+  | Ok [ m ] -> m
+  | Ok _ -> Alcotest.fail "expected exactly one module"
+  | Error e -> Alcotest.fail e
+
+let parse_d src =
+  match Parser.parse_design_result src with
+  | Ok d -> d
+  | Error e -> Alcotest.fail e
+
+let wrap body = Printf.sprintf "module t(a, b);\ninput a;\noutput b;\n%s\nendmodule" body
+
+(* --- Lexer --------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let lx = Lexer.tokenize "module foo; wire w; endmodule" in
+  Alcotest.(check int) "token count" 8 (Array.length lx.toks);
+  Alcotest.(check bool) "kw" true (lx.toks.(0) = Lexer.KEYWORD "module");
+  Alcotest.(check bool) "ident" true (lx.toks.(1) = Lexer.IDENT "foo");
+  Alcotest.(check bool) "eof" true (lx.toks.(7) = Lexer.EOF)
+
+let test_lexer_numbers () =
+  let num s =
+    match (Lexer.tokenize s).toks.(0) with
+    | Lexer.NUMBER v -> Logic4.Vec.to_string v
+    | t -> Alcotest.failf "not a number: %s" (Lexer.string_of_token t)
+  in
+  Alcotest.(check string) "bin" "1010" (num "4'b1010");
+  Alcotest.(check string) "hex" "11111111" (num "8'hFF");
+  Alcotest.(check string) "dec" "0111" (num "4'd7");
+  Alcotest.(check string) "oct" "111000" (num "6'o70");
+  Alcotest.(check string) "xz" "10xz" (num "4'b10xz");
+  Alcotest.(check string) "x extend" "xxxx" (num "4'bx");
+  Alcotest.(check string) "zero extend" "0001" (num "4'b1");
+  Alcotest.(check string) "truncate" "11" (num "2'b0011");
+  Alcotest.(check string) "underscore" "10100101" (num "8'b1010_0101")
+
+let test_lexer_operators () =
+  let ops s =
+    Array.to_list (Lexer.tokenize s).toks
+    |> List.filter_map (function Lexer.OP o -> Some o | _ -> None)
+  in
+  Alcotest.(check (list string)) "multi-char"
+    [ "==="; "=="; "<="; "<<"; "~^"; "->" ]
+    (ops "=== == <= << ~^ ->");
+  (* ^~ is an alias for ~^; <<< and >>> collapse to logical shifts. *)
+  Alcotest.(check (list string)) "aliases" [ "~^"; "<<"; ">>" ] (ops "^~ <<< >>>")
+
+let test_lexer_comments_strings () =
+  let lx = Lexer.tokenize "a // line\n /* block\n comment */ b \"str\\n\"" in
+  Alcotest.(check int) "tokens" 4 (Array.length lx.toks);
+  Alcotest.(check bool) "string" true (lx.toks.(2) = Lexer.STRING "str\n");
+  Alcotest.check_raises "unterminated"
+    (Lexer.Error ("unterminated comment", 2))
+    (fun () -> ignore (Lexer.tokenize "\n/* oops"))
+
+let test_lexer_directives_skipped () =
+  let lx = Lexer.tokenize "`timescale 1ns/1ps\nmodule" in
+  Alcotest.(check bool) "directive skipped" true
+    (lx.toks.(0) = Lexer.KEYWORD "module")
+
+(* --- Parser -------------------------------------------------------------- *)
+
+let test_parse_module_shape () =
+  let m = parse_m (wrap "assign b = !a;") in
+  Alcotest.(check string) "name" "t" m.Ast.mod_id;
+  Alcotest.(check (list string)) "ports" [ "a"; "b" ] m.Ast.mod_ports;
+  Alcotest.(check int) "items" 3 (List.length m.Ast.items)
+
+let test_parse_ansi_header () =
+  let m =
+    parse_m "module t(input wire clk, output reg [3:0] q);\nendmodule"
+  in
+  Alcotest.(check (list string)) "ports" [ "clk"; "q" ] m.Ast.mod_ports;
+  Alcotest.(check int) "generated decls" 2 (List.length m.Ast.items)
+
+let test_parse_expressions () =
+  (* Verify precedence through the printer's full parenthesization. *)
+  let expr_str body =
+    let m = parse_m (wrap (Printf.sprintf "assign b = %s;" body)) in
+    match
+      List.find_map
+        (fun (i : Ast.item) ->
+          match i.it with Ast.ContAssign [ (_, e) ] -> Some e | _ -> None)
+        m.items
+    with
+    | Some e -> Pp.expr_to_string e
+    | None -> Alcotest.fail "no assign"
+  in
+  Alcotest.(check string) "mul binds tighter" "(a + (a * a))" (expr_str "a + a * a");
+  Alcotest.(check string) "add binds tighter than shift" "(a << (1 + a))"
+    (expr_str "a << 1 + a");
+  Alcotest.(check string) "ternary" "(a ? a : (a + 1))" (expr_str "a ? a : a + 1");
+  Alcotest.(check string) "unary reduction" "((&a) | (^a))" (expr_str "&a | ^a");
+  Alcotest.(check string) "eq vs and" "((a == 1) && (a != 2))"
+    (expr_str "a == 1 && a != 2");
+  Alcotest.(check string) "concat" "{a, a, 2'b01}" (expr_str "{a, a, 2'b01}");
+  Alcotest.(check string) "replication" "{4{a}}" (expr_str "{4{a}}")
+
+let test_parse_statements () =
+  let m =
+    parse_m
+      (wrap
+         "reg r;\n\
+          always @(posedge a) begin\n\
+          if (r == 1'b0) r <= 1'b1; else r <= 1'b0;\n\
+          case (r) 1'b0: r = 1; default: r = 0; endcase\n\
+          end")
+  in
+  let stmts = Ast_utils.stmts_of_module m in
+  let has pred = List.exists (fun (s : Ast.stmt) -> pred s.Ast.s) stmts in
+  Alcotest.(check bool) "if" true (has (function Ast.If _ -> true | _ -> false));
+  Alcotest.(check bool) "case" true
+    (has (function Ast.CaseStmt _ -> true | _ -> false));
+  Alcotest.(check bool) "nba" true
+    (has (function Ast.Nonblocking _ -> true | _ -> false));
+  Alcotest.(check bool) "event ctrl" true
+    (has (function Ast.EventCtrl ([ Ast.Posedge _ ], _) -> true | _ -> false))
+
+let test_parse_loops_and_timing () =
+  let m =
+    parse_m
+      (wrap
+         "reg [3:0] r; integer i;\n\
+          initial begin\n\
+          for (i = 0; i < 4; i = i + 1) r = r + 1;\n\
+          while (r != 0) r = r - 1;\n\
+          repeat (3) #5 r = r + 1;\n\
+          wait (a) r = 0;\n\
+          #10;\n\
+          end")
+  in
+  let stmts = Ast_utils.stmts_of_module m in
+  let count pred =
+    List.length (List.filter (fun (s : Ast.stmt) -> pred s.Ast.s) stmts)
+  in
+  Alcotest.(check int) "for" 1 (count (function Ast.For _ -> true | _ -> false));
+  Alcotest.(check int) "while" 1 (count (function Ast.While _ -> true | _ -> false));
+  Alcotest.(check int) "repeat" 1 (count (function Ast.Repeat _ -> true | _ -> false));
+  Alcotest.(check int) "wait" 1 (count (function Ast.Wait _ -> true | _ -> false));
+  Alcotest.(check int) "delays" 2 (count (function Ast.Delay _ -> true | _ -> false))
+
+let test_parse_instance () =
+  let d =
+    parse_d
+      "module leaf(x, y); input x; output y; endmodule\n\
+       module top; wire w1, w2;\n\
+       leaf #(.P(3)) u0 (.x(w1), .y(w2));\n\
+       leaf u1 (w1, w2);\n\
+       endmodule"
+  in
+  let top = List.nth d 1 in
+  let instances =
+    List.filter_map
+      (fun (i : Ast.item) ->
+        match i.it with
+        | Ast.Instance { mod_name; params; conns; _ } ->
+            Some (mod_name, List.length params, List.length conns)
+        | _ -> None)
+      top.items
+  in
+  Alcotest.(check int) "two instances" 2 (List.length instances);
+  match instances with
+  | (mod_name, n_params, n_conns) :: _ ->
+      Alcotest.(check string) "module" "leaf" mod_name;
+      Alcotest.(check int) "params" 1 n_params;
+      Alcotest.(check int) "conns" 2 n_conns
+  | [] -> Alcotest.fail "no instance"
+
+let test_parse_events () =
+  let m =
+    parse_m
+      "module t;\nevent go, stop;\ninitial begin -> go; @(stop); end\nendmodule"
+  in
+  let has_event_decl =
+    List.exists
+      (fun (i : Ast.item) ->
+        match i.it with Ast.EventDecl [ "go"; "stop" ] -> true | _ -> false)
+      m.items
+  in
+  Alcotest.(check bool) "event decl" true has_event_decl
+
+let test_parse_errors () =
+  let bad src =
+    match Parser.parse_design_result src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse failure: %s" src
+  in
+  bad "module t; wire; endmodule";
+  bad "module t; assign = 1; endmodule";
+  bad "module t; always if endmodule";
+  bad "module t; initial begin x = 1; endmodule";
+  bad "module";
+  bad "garbage"
+
+let test_node_ids_unique () =
+  let m = parse_m (Corpus.read "counter.v") in
+  let ids =
+    List.map (fun (s : Ast.stmt) -> s.Ast.sid) (Ast_utils.stmts_of_module m)
+    @ List.map (fun (e : Ast.expr) -> e.Ast.eid) (Ast_utils.exprs_of_module m)
+  in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "no duplicate ids" (List.length ids) (List.length sorted)
+
+(* --- Preprocessor --------------------------------------------------------- *)
+
+let test_preprocess_define () =
+  let m =
+    parse_m
+      "`define WIDTH 4\n\
+       `define ONE 1'b1\n\
+       module t; reg [`WIDTH-1:0] r; initial r = {`WIDTH{`ONE}}; endmodule"
+  in
+  Alcotest.(check string) "name" "t" m.Ast.mod_id;
+  (* The macro expanded to a 4-bit register. *)
+  let has_range =
+    List.exists
+      (fun (i : Ast.item) ->
+        match i.it with Ast.NetDecl (Ast.Reg, Some _, _) -> true | _ -> false)
+      m.Ast.items
+  in
+  Alcotest.(check bool) "range present" true has_range
+
+let test_preprocess_ifdef () =
+  let src sel =
+    (if sel then "`define FAST\n" else "")
+    ^ "module t;\n\
+       `ifdef FAST\n\
+       reg fast_path;\n\
+       `else\n\
+       reg slow_path;\n\
+       `endif\n\
+       endmodule"
+  in
+  let names m =
+    List.concat_map
+      (fun (i : Ast.item) ->
+        match i.it with
+        | Ast.NetDecl (_, _, ds) -> List.map (fun d -> d.Ast.d_name) ds
+        | _ -> [])
+      m.Ast.items
+  in
+  Alcotest.(check (list string)) "fast" [ "fast_path" ] (names (parse_m (src true)));
+  Alcotest.(check (list string)) "slow" [ "slow_path" ] (names (parse_m (src false)))
+
+let test_preprocess_ifndef_nested () =
+  let m =
+    parse_m
+      "`define A\n\
+       module t;\n\
+       `ifndef A\nreg not_here;\n`else\n`ifdef A\nreg here;\n`endif\n`endif\n\
+       endmodule"
+  in
+  Alcotest.(check int) "one decl" 1
+    (List.length
+       (List.filter
+          (fun (i : Ast.item) ->
+            match i.it with Ast.NetDecl _ -> true | _ -> false)
+          m.Ast.items))
+
+let test_preprocess_undef_and_errors () =
+  (match Parser.parse_design_result "`define X 1\n`undef X\nmodule t; reg r; initial r = `X; endmodule" with
+  | Error e ->
+      Alcotest.(check bool) "undefined macro" true
+        (try ignore (Str.search_forward (Str.regexp_string "undefined macro") e 0); true
+         with Not_found -> false)
+  | Ok _ -> Alcotest.fail "expected failure");
+  (match Parser.parse_design_result "`endif\nmodule t; endmodule" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbalanced endif");
+  match Parser.parse_design_result "`ifdef Y\nmodule t; endmodule" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated ifdef"
+
+let test_preprocess_external_defines () =
+  let d =
+    match
+      Parser.parse_design_result ~defines:[ ("W", "8") ]
+        "module t; reg [`W-1:0] r; endmodule"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "parsed" 1 (List.length d)
+
+(* --- Printer round trip --------------------------------------------------- *)
+
+let test_roundtrip_corpus () =
+  List.iter
+    (fun (file, src) ->
+      let d = parse_d src in
+      let printed = Pp.design_to_string d in
+      let d2 = parse_d printed in
+      (* Second print must be a fixed point: parse . print is stable. *)
+      let printed2 = Pp.design_to_string d2 in
+      Alcotest.(check string) (file ^ " print fixpoint") printed printed2)
+    Corpus.files
+
+let test_roundtrip_preserves_structure () =
+  List.iter
+    (fun (file, src) ->
+      let d = parse_d src in
+      let d2 = parse_d (Pp.design_to_string d) in
+      List.iter2
+        (fun (m1 : Ast.module_decl) (m2 : Ast.module_decl) ->
+          Alcotest.(check string) (file ^ " module name") m1.mod_id m2.mod_id;
+          Alcotest.(check int)
+            (file ^ " stmt count")
+            (List.length (Ast_utils.stmts_of_module m1))
+            (List.length (Ast_utils.stmts_of_module m2)))
+        d d2)
+    Corpus.files
+
+(* --- Ast_utils ------------------------------------------------------------ *)
+
+let counter () = parse_m (Corpus.read "counter.v")
+
+let find_assign m name =
+  List.find
+    (fun (s : Ast.stmt) ->
+      match s.Ast.s with
+      | Ast.Nonblocking (Ast.LId n, _, _) | Ast.Blocking (Ast.LId n, _, _) ->
+          n = name
+      | _ -> false)
+    (Ast_utils.stmts_of_module m)
+
+let test_find_stmt () =
+  let m = counter () in
+  let s = find_assign m "overflow_out" in
+  (match Ast_utils.find_stmt m s.Ast.sid with
+  | Some s' -> Alcotest.(check int) "found" s.Ast.sid s'.Ast.sid
+  | None -> Alcotest.fail "find_stmt");
+  Alcotest.(check bool) "missing id" true (Ast_utils.find_stmt m 99999 = None)
+
+let test_replace_delete () =
+  let m = counter () in
+  let target = find_assign m "overflow_out" in
+  (match Ast_utils.delete_stmt m ~target:target.Ast.sid with
+  | None -> Alcotest.fail "delete failed"
+  | Some m' ->
+      Alcotest.(check bool) "now null" true
+        (match Ast_utils.find_stmt m' target.Ast.sid with
+        | Some { Ast.s = Ast.Null; _ } -> true
+        | _ -> false);
+      (* The original module is untouched (persistence). *)
+      Alcotest.(check bool) "original intact" true
+        (match Ast_utils.find_stmt m target.Ast.sid with
+        | Some { Ast.s = Ast.Nonblocking _; _ } -> true
+        | _ -> false));
+  Alcotest.(check bool) "replace missing target" true
+    (Ast_utils.replace_stmt m ~target:99999 ~replacement:target = None)
+
+let test_insert_after () =
+  let m = counter () in
+  let anchor = find_assign m "counter_out" in
+  let fragment = find_assign m "overflow_out" in
+  match Ast_utils.insert_after m ~target:anchor.Ast.sid ~stmt:fragment with
+  | None -> Alcotest.fail "insert failed"
+  | Some m' ->
+      Alcotest.(check int) "one more statement"
+        (List.length (Ast_utils.stmts_of_module m) + 1)
+        (List.length (Ast_utils.stmts_of_module m'))
+
+let test_insert_wraps_bare_body () =
+  (* Inserting after a statement that is the direct (non-block) body of a
+     control statement wraps both in a fresh block. *)
+  let m = parse_m (wrap "reg r;\nalways @(a) if (a) r = 1;") in
+  let target =
+    List.find
+      (fun (s : Ast.stmt) ->
+        match s.Ast.s with Ast.Blocking _ -> true | _ -> false)
+      (Ast_utils.stmts_of_module m)
+  in
+  match Ast_utils.insert_after m ~target:target.Ast.sid ~stmt:target with
+  | None -> Alcotest.fail "insert failed"
+  | Some m' ->
+      let blocks =
+        List.filter
+          (fun (s : Ast.stmt) ->
+            match s.Ast.s with Ast.Block _ -> true | _ -> false)
+          (Ast_utils.stmts_of_module m')
+      in
+      Alcotest.(check bool) "wrapped in block" true (blocks <> [])
+
+let test_transform_expr_first_match () =
+  let m = counter () in
+  (* Duplicate a statement, then transform its expression id: only the
+     first occurrence (document order) must change. *)
+  let s = find_assign m "overflow_out" in
+  let rhs_id =
+    match s.Ast.s with
+    | Ast.Nonblocking (_, _, rhs) -> rhs.Ast.eid
+    | _ -> assert false
+  in
+  let m2 = Option.get (Ast_utils.insert_after m ~target:s.Ast.sid ~stmt:s) in
+  let m3 =
+    Option.get
+      (Ast_utils.transform_expr m2 ~target:rhs_id ~f:(fun e ->
+           Some { e with Ast.e = Ast.IntLit 7 }))
+  in
+  let changed =
+    Ast_utils.exprs_of_module m3
+    |> List.filter (fun (e : Ast.expr) -> e.Ast.e = Ast.IntLit 7)
+  in
+  Alcotest.(check int) "exactly one changed" 1 (List.length changed)
+
+let test_classify () =
+  let m = counter () in
+  let classes =
+    Ast_utils.stmts_of_module m |> List.map Ast_utils.classify_stmt
+  in
+  Alcotest.(check bool) "has assigns" true (List.mem Ast_utils.C_assign classes);
+  Alcotest.(check bool) "has ifs" true (List.mem Ast_utils.C_if classes);
+  Alcotest.(check bool) "has timing" true (List.mem Ast_utils.C_timing classes)
+
+let test_expr_idents () =
+  let m = counter () in
+  let s = find_assign m "counter_out" in
+  match s.Ast.s with
+  | Ast.Nonblocking (_, _, rhs) ->
+      Alcotest.(check bool) "reads nothing or counter_out" true
+        (Ast_utils.expr_idents rhs = []
+        || List.mem "counter_out" (Ast_utils.expr_idents rhs))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_module_size () =
+  let m = counter () in
+  Alcotest.(check bool) "size positive" true (Ast_utils.module_size m > 30);
+  let s = find_assign m "overflow_out" in
+  Alcotest.(check bool) "stmt size" true (Ast_utils.stmt_size s >= 2)
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments/strings" `Quick test_lexer_comments_strings;
+          Alcotest.test_case "directives" `Quick test_lexer_directives_skipped;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "module shape" `Quick test_parse_module_shape;
+          Alcotest.test_case "ansi header" `Quick test_parse_ansi_header;
+          Alcotest.test_case "expressions" `Quick test_parse_expressions;
+          Alcotest.test_case "statements" `Quick test_parse_statements;
+          Alcotest.test_case "loops/timing" `Quick test_parse_loops_and_timing;
+          Alcotest.test_case "instances" `Quick test_parse_instance;
+          Alcotest.test_case "events" `Quick test_parse_events;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "unique ids" `Quick test_node_ids_unique;
+        ] );
+      ( "preprocessor",
+        [
+          Alcotest.test_case "define" `Quick test_preprocess_define;
+          Alcotest.test_case "ifdef/else" `Quick test_preprocess_ifdef;
+          Alcotest.test_case "ifndef nested" `Quick test_preprocess_ifndef_nested;
+          Alcotest.test_case "undef and errors" `Quick
+            test_preprocess_undef_and_errors;
+          Alcotest.test_case "external defines" `Quick
+            test_preprocess_external_defines;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "corpus fixpoint" `Quick test_roundtrip_corpus;
+          Alcotest.test_case "structure preserved" `Quick
+            test_roundtrip_preserves_structure;
+        ] );
+      ( "ast-utils",
+        [
+          Alcotest.test_case "find" `Quick test_find_stmt;
+          Alcotest.test_case "replace/delete" `Quick test_replace_delete;
+          Alcotest.test_case "insert after" `Quick test_insert_after;
+          Alcotest.test_case "insert wraps" `Quick test_insert_wraps_bare_body;
+          Alcotest.test_case "first-match transform" `Quick
+            test_transform_expr_first_match;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "expr idents" `Quick test_expr_idents;
+          Alcotest.test_case "sizes" `Quick test_module_size;
+        ] );
+    ]
