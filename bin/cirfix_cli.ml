@@ -216,8 +216,10 @@ let repair design golden testbench target top clock dut seed pop_size
   in
   let r = Cirfix.Gp.repair ~on_generation cfg problem in
   Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
-  Printf.printf "probes: %d, mutants: %d, compile errors: %d, wall: %.1fs\n"
-    r.probes r.mutants_generated r.compile_errors r.wall_seconds;
+  Printf.printf
+    "probes: %d, mutants: %d, compile errors: %d, static rejects: %d, wall: %.1fs\n"
+    r.probes r.mutants_generated r.compile_errors r.static_rejects
+    r.wall_seconds;
   match (r.minimized, r.repaired_module) with
   | Some patch, Some m ->
       Printf.printf "REPAIRED (minimized to %d edits):\n  %s\n"
@@ -285,38 +287,68 @@ let coverage_cmd =
 
 (* --- lint ------------------------------------------------------------------------ *)
 
-let lint files =
+let lint style_only semantic_only files =
+  if style_only && semantic_only then
+    or_die (Error "--style-only and --semantic-only are mutually exclusive");
   let total_errors = ref 0 in
+  let total_findings = ref 0 in
   List.iter
     (fun path ->
       let src = or_die (read_file path) in
       match Verilog.Parser.parse_design_result src with
       | Error e ->
           Printf.printf "%s: parse error: %s\n" path e;
-          incr total_errors
+          incr total_errors;
+          incr total_findings
       | Ok design ->
+          let style = if semantic_only then [] else Verilog.Lint.check_design design in
+          let semantic =
+            if style_only then [] else Verilog.Analysis.check_design design
+          in
           List.iter
-            (fun (mod_name, findings) ->
+            (fun (_, findings) ->
               List.iter
                 (fun (f : Verilog.Lint.finding) ->
+                  incr total_findings;
                   if f.severity = Verilog.Lint.Error then incr total_errors;
-                  Format.printf "%s: %s: %a@." path mod_name
-                    Verilog.Lint.pp_finding f)
+                  Format.printf "%s: %a@." path Verilog.Lint.pp_finding f)
                 findings)
-            (Verilog.Lint.check_design design))
+            (style @ semantic))
     files;
+  if !total_findings = 0 then print_endline "no findings";
   if !total_errors > 0 then exit 1
+
+let lint_args =
+  Term.(
+    const lint
+    $ Arg.(
+        value & flag
+        & info [ "style-only" ]
+            ~doc:"Only run the style/synthesizability lint rules.")
+    $ Arg.(
+        value & flag
+        & info [ "semantic-only" ]
+            ~doc:
+              "Only run the semantic analyses (combinational loops,\n\
+               uninitialized registers, width truncation, constant\n\
+               conditions).")
+    $ Arg.(
+        non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Verilog files."))
 
 let lint_cmd =
   let doc =
-    "Run synthesizability/style checks (latch inference, incomplete\n\
-     sensitivity lists, blocking/non-blocking misuse, multiple drivers)."
+    "Run static checks over Verilog sources: style/synthesizability rules\n\
+     (latch inference, incomplete sensitivity lists, blocking/non-blocking\n\
+     misuse, multiple drivers) plus the semantic analyses used by the\n\
+     repair engine's mutant screener (combinational loops, uninitialized\n\
+     registers, width truncation, constant conditions). Exits non-zero if\n\
+     any $(b,error)-severity finding fires."
   in
-  Cmd.v
-    (Cmd.info "lint" ~doc)
-    Term.(
-      const lint
-      $ Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Verilog files."))
+  Cmd.v (Cmd.info "lint" ~doc) lint_args
+
+let analyze_cmd =
+  let doc = "Alias of $(b,lint): run all static analyses over Verilog sources." in
+  Cmd.v (Cmd.info "analyze" ~doc) lint_args
 
 (* --- scenarios ------------------------------------------------------------------ *)
 
@@ -336,11 +368,11 @@ let scenarios id dump run_it trials =
       if run_it then (
         let cfg = Bench_suite.Runner.scenario_config d in
         let s = Bench_suite.Runner.run_defect ~cfg ~trials d in
-        Printf.printf "  result: %s (%.1fs, %d probes)\n"
+        Printf.printf "  result: %s (%.1fs, %d probes, %d static rejects)\n"
           (if s.correct then "correct repair"
            else if s.repaired then "plausible repair"
            else "no repair")
-          s.total_seconds s.probes;
+          s.total_seconds s.probes s.static_rejects;
         match s.patch with
         | Some p -> Printf.printf "  patch: %s\n" (Cirfix.Patch.to_string p)
         | None -> ()))
@@ -375,5 +407,6 @@ let () =
             repair_cmd;
             scenarios_cmd;
             lint_cmd;
+            analyze_cmd;
             coverage_cmd;
           ]))

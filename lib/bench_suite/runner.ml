@@ -10,6 +10,7 @@ type trial_summary = {
   seconds : float; (* wall time of the successful trial (or total) *)
   total_seconds : float; (* across all trials run *)
   probes : int; (* fitness evaluations across all trials *)
+  static_rejects : int; (* mutants screened out statically, across all trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -22,7 +23,7 @@ type trial_summary = {
 let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
     ?(on_trial : (int -> unit) option) (d : Defects.t) : trial_summary =
   let problem = Defects.problem d in
-  let rec go seed ~total_probes ~total_seconds ~initial_fitness =
+  let rec go seed ~total_probes ~total_rejects ~total_seconds ~initial_fitness =
     if seed > trials then
       {
         defect = d;
@@ -31,6 +32,7 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
         seconds = total_seconds;
         total_seconds;
         probes = total_probes;
+        static_rejects = total_rejects;
         edits = 0;
         trials_run = trials;
         winning_seed = None;
@@ -43,6 +45,7 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
       Option.iter (fun f -> f seed) on_trial;
       let r = Cirfix.Gp.repair { cfg with seed } problem in
       let total_probes = total_probes + r.probes in
+      let total_rejects = total_rejects + r.static_rejects in
       let total_seconds = total_seconds +. r.wall_seconds in
       match (r.minimized, r.repaired_module) with
       | Some patch, Some m ->
@@ -53,6 +56,7 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
             seconds = r.wall_seconds;
             total_seconds;
             probes = total_probes;
+            static_rejects = total_rejects;
             edits = List.length patch;
             trials_run = seed;
             winning_seed = Some seed;
@@ -62,10 +66,10 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
             initial_fitness = r.initial_fitness;
           }
       | _ ->
-          go (seed + 1) ~total_probes ~total_seconds
+          go (seed + 1) ~total_probes ~total_rejects ~total_seconds
             ~initial_fitness:r.initial_fitness)
   in
-  go 1 ~total_probes:0 ~total_seconds:0. ~initial_fitness:0.
+  go 1 ~total_probes:0 ~total_rejects:0 ~total_seconds:0. ~initial_fitness:0.
 
 (* Resource presets: larger projects get a longer leash, mirroring the
    paper's uniform 12-hour bound scaled to our in-process simulator. *)

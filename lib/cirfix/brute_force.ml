@@ -8,6 +8,7 @@ open Verilog.Ast
 type result = {
   repaired : Patch.t option;
   probes : int;
+  static_rejects : int; (* candidates screened out before simulation *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -85,6 +86,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
   {
     repaired = !found;
     probes = ev.probes;
+    static_rejects = ev.static_rejects;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
   }

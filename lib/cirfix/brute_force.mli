@@ -5,6 +5,8 @@
 type result = {
   repaired : Patch.t option;
   probes : int;
+  static_rejects : int;
+      (** candidates screened out statically, without simulation *)
   wall_seconds : float;
   candidates_tried : int;
 }

@@ -22,6 +22,12 @@ type t = {
   use_fix_loc : bool; (* ablation A1: restrict insert/replace sources *)
   use_templates : bool;
   use_fault_loc : bool; (* when false, every statement is a target *)
+  screen_mutants : bool;
+      (* pre-simulation static screening: statically-doomed mutants are
+         rejected (scored like compile errors) without being simulated *)
+  screen_checks : Verilog.Analysis.check list;
+      (* which analyses the screener runs; keep this to cheap checks whose
+         findings imply a wasted simulation *)
 }
 
 let default =
@@ -44,6 +50,8 @@ let default =
     use_fix_loc = true;
     use_templates = true;
     use_fault_loc = true;
+    screen_mutants = true;
+    screen_checks = [ Verilog.Analysis.Comb_loop ];
   }
 
 (* The paper's full-scale configuration, for completeness. *)

@@ -7,6 +7,10 @@ type status =
   | Simulated (* ran to completion (or quiesced) *)
   | Compile_error of string (* elaboration failed: the "does not compile" case *)
   | Sim_diverged of string (* budget blown or time limit: fitness 0 *)
+  | Rejected_static of string
+    (* the pre-simulation screener proved the mutant doomed (e.g. a
+       zero-delay combinational loop): scored like a compile error, but
+       the simulation budget is never touched *)
 
 type outcome = {
   fitness : float;
@@ -22,6 +26,7 @@ type t = {
   mutable probes : int; (* simulations actually run *)
   mutable lookups : int; (* total evaluations requested *)
   mutable compile_errors : int; (* non-memoized compile failures *)
+  mutable static_rejects : int; (* non-memoized screener rejections *)
 }
 
 let create (cfg : Config.t) (problem : Problem.t) : t =
@@ -34,6 +39,7 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     probes = 0;
     lookups = 0;
     compile_errors = 0;
+    static_rejects = 0;
   }
 
 let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
@@ -48,7 +54,24 @@ let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
   let key = Digest.string (Verilog.Pp.module_to_string candidate) in
   match Hashtbl.find_opt ev.cache key with
   | Some o -> o
-  | None ->
+  | None -> (
+      let screened =
+        if ev.cfg.screen_mutants then
+          Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate
+        else None
+      in
+      match screened with
+      | Some msg ->
+          (* Pre-simulation screening: the candidate is statically doomed,
+             so reject it (scored like a compile error) without spending a
+             simulation. Rejections are memoized like every other outcome. *)
+          ev.static_rejects <- ev.static_rejects + 1;
+          let outcome =
+            { fitness = 0.; trace = []; status = Rejected_static msg }
+          in
+          Hashtbl.replace ev.cache key outcome;
+          outcome
+      | None ->
       ev.probes <- ev.probes + 1;
       let design = Problem.with_candidate ev.problem candidate in
       (* Candidates get a budget proportional to the golden run: a mutant
@@ -89,7 +112,7 @@ let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
                 { fitness = 0.; trace = []; status = Sim_diverged m })
       in
       Hashtbl.replace ev.cache key outcome;
-      outcome
+      outcome)
   end
 
 let eval_patch (ev : t) (original : Verilog.Ast.module_decl) (p : Patch.t) :

@@ -10,6 +10,10 @@ type status =
       (** elaboration failed or the candidate was rejected outright —
           the hardware analogue of a mutant that does not compile *)
   | Sim_diverged of string  (** budget or simulated-time limit reached *)
+  | Rejected_static of string
+      (** the pre-simulation screener ({!Verilog.Analysis}) proved the
+          mutant doomed; scored like a compile error, but no simulation
+          budget was spent *)
 
 type outcome = {
   fitness : float;
@@ -25,6 +29,8 @@ type t = {
   mutable probes : int;  (** simulations actually run (cache misses) *)
   mutable lookups : int;  (** evaluations requested *)
   mutable compile_errors : int;
+  mutable static_rejects : int;
+      (** candidates rejected by the static screener without simulation *)
 }
 
 val create : Config.t -> Problem.t -> t

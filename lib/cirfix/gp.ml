@@ -22,6 +22,7 @@ type result = {
   generations : generation_stats list; (* oldest first *)
   probes : int; (* fitness evaluations (simulations) *)
   compile_errors : int; (* mutants that failed elaboration *)
+  static_rejects : int; (* mutants screened out before simulation *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
@@ -66,7 +67,7 @@ let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
       | Evaluate.Simulated | Evaluate.Sim_diverged _ ->
           Fitness.mismatched_signals ~expected:ev.problem.oracle
             ~actual:parent.outcome.trace
-      | Evaluate.Compile_error _ ->
+      | Evaluate.Compile_error _ | Evaluate.Rejected_static _ ->
           (* Nothing simulated: blame every recorded output. *)
           (match ev.problem.oracle with
           | [] -> []
@@ -184,6 +185,7 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     generations = List.rev !gen_stats;
     probes = ev.probes;
     compile_errors = ev.compile_errors;
+    static_rejects = ev.static_rejects;
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;

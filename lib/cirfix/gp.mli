@@ -19,6 +19,9 @@ type result = {
   generations : generation_stats list;  (** oldest first *)
   probes : int;  (** fitness evaluations (simulations actually run) *)
   compile_errors : int;  (** mutants that failed elaboration *)
+  static_rejects : int;
+      (** mutants rejected by the pre-simulation static screener; these
+          never touch the simulation budget *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)

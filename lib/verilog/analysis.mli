@@ -1,0 +1,77 @@
+(** Semantic static analysis over a module: a def-use/driver graph and four
+    analyses on top of it. Unlike {!Lint}, which checks style and
+    synthesizability conventions, this pass reasons about semantics —
+    combinational feedback, x-propagation seeds, width truncation, and
+    statically-decided control flow — and is cheap enough to run on every
+    repair candidate before simulation (the repair engine's pre-simulation
+    mutant screener). *)
+
+module Names : Set.S with type elt = string
+
+(** {1 Driver graph} *)
+
+type driver_kind =
+  | Cont_assign  (** continuous [assign] *)
+  | Comb_proc  (** combinational / level-sensitive always block *)
+  | Seq_proc  (** clocked (edge-sensitive) or self-timed always block *)
+
+type driver = {
+  dk : driver_kind;
+  dnode : Ast.id;  (** node id of the driving statement or item *)
+  dsupports : Names.t;
+      (** signals whose change can re-evaluate this driver at zero delay
+          and propagate to the target (empty for [Seq_proc]) *)
+}
+
+type graph
+(** A module-level def-use summary: every net mapped to its structural
+    drivers, plus the read set, initialization facts, and the constant
+    environment used by the width checker. *)
+
+val build : Ast.module_decl -> graph
+
+val drivers_of : graph -> string -> driver list
+(** Structural drivers of a net, in source order. *)
+
+val nets : graph -> string list
+(** All driven nets, sorted. *)
+
+val reads : graph -> Names.t
+(** Every identifier read anywhere in the module. *)
+
+(** {1 Analyses} *)
+
+type check =
+  | Comb_loop
+      (** zero-delay combinational cycles across continuous assigns and
+          combinational always blocks (sensitivity-gated, so a clocked
+          [q <= q + 1] never fires) — severity [Error] *)
+  | Uninit_reg
+      (** state registers read before any initialization: no declaration
+          initializer, no initial-block write, no reset path — severity
+          [Warning] *)
+  | Width
+      (** truncating assignments and mismatched instance port connection
+          widths, using [logic4] vector widths — severity [Warning] *)
+  | Const_cond
+      (** statically-decided conditions (if / ?: / while / case subjects),
+          making a branch unreachable — severity [Warning] *)
+
+val all_checks : check list
+
+val check_module :
+  ?design:Ast.design ->
+  ?checks:check list ->
+  Ast.module_decl ->
+  Lint.finding list
+(** Run [checks] (default {!all_checks}) on one module. [design] supplies
+    instantiated-module declarations for port-width checking; without it,
+    instance connections are skipped. *)
+
+val check_design : Ast.design -> (string * Lint.finding list) list
+(** [check_module] over every module, with the full design as context. *)
+
+val screen : checks:check list -> Ast.module_decl -> string option
+(** Pre-simulation mutant screening: run the given checks and return a
+    one-line rejection reason if any finding fires ([Error]-severity
+    findings win over warnings), or [None] if the module passes. *)

@@ -13,12 +13,13 @@ type severity = Warning | Error
 type finding = {
   severity : severity;
   rule : string; (* short kebab-case rule name *)
+  modname : string; (* module the finding is in *)
   node : id; (* offending node *)
   message : string;
 }
 
-let finding severity rule node fmt =
-  Printf.ksprintf (fun message -> { severity; rule; node; message }) fmt
+let finding severity rule ~modname node fmt =
+  Printf.ksprintf (fun message -> { severity; rule; modname; node; message }) fmt
 
 (* Sensitivity-list classification for an always process. *)
 type process_style =
@@ -97,14 +98,14 @@ let rec always_assigns name (s : stmt) : bool =
       always_assigns name k
   | _ -> false
 
-let check_always ~(params : Names.t) (acc : finding list) (item : item)
-    (s : stmt) : finding list =
+let check_always ~(params : Names.t) ~modname (acc : finding list)
+    (item : item) (s : stmt) : finding list =
   match s.s with
   | EventCtrl (specs, body) -> (
       let style = style_of_specs specs in
       let acc =
         if style = Mixed then
-          finding Error "mixed-sensitivity" s.sid
+          finding Error "mixed-sensitivity" ~modname s.sid
             "sensitivity list mixes edge and level items"
           :: acc
         else acc
@@ -135,7 +136,7 @@ let check_always ~(params : Names.t) (acc : finding list) (item : item)
                      || Names.mem n params (* constants never change *) then
                     acc
                   else
-                    finding Warning "incomplete-sensitivity" s.sid
+                    finding Warning "incomplete-sensitivity" ~modname s.sid
                       "combinational block reads %s but is not sensitive to it"
                       n
                     :: acc)
@@ -147,7 +148,7 @@ let check_always ~(params : Names.t) (acc : finding list) (item : item)
               (fun n acc ->
                 if always_assigns n body then acc
                 else
-                  finding Warning "inferred-latch" s.sid
+                  finding Warning "inferred-latch" ~modname s.sid
                     "%s is not assigned on every path of a combinational block (latch inferred)"
                     n
                   :: acc)
@@ -162,7 +163,7 @@ let check_always ~(params : Names.t) (acc : finding list) (item : item)
               false body
           in
           if nba then
-            finding Warning "nonblocking-in-comb" s.sid
+            finding Warning "nonblocking-in-comb" ~modname s.sid
               "non-blocking assignment inside a combinational block"
             :: acc
           else acc
@@ -176,7 +177,7 @@ let check_always ~(params : Names.t) (acc : finding list) (item : item)
               false body
           in
           if blk then
-            finding Warning "blocking-in-clocked" s.sid
+            finding Warning "blocking-in-clocked" ~modname s.sid
               "blocking assignment inside a clocked block"
             :: acc
           else acc
@@ -185,7 +186,7 @@ let check_always ~(params : Names.t) (acc : finding list) (item : item)
       (* An always process without a leading event control free-runs. *)
       if has_timing s then acc
       else
-        finding Error "free-running-always" item.iid
+        finding Error "free-running-always" ~modname item.iid
           "always block has no timing control and will loop at time 0"
         :: acc
 
@@ -207,6 +208,7 @@ let drivers (m : module_decl) : (string * string) list =
     m.items
 
 let check_module (m : module_decl) : finding list =
+  let modname = m.mod_id in
   let params =
     List.fold_left
       (fun acc (item : item) ->
@@ -220,13 +222,13 @@ let check_module (m : module_decl) : finding list =
   List.iter
     (fun (item : item) ->
       match item.it with
-      | Always s -> acc := check_always ~params !acc item s
+      | Always s -> acc := check_always ~params ~modname !acc item s
       | Initial s ->
           (* $display-only initial blocks are fine; warn on synthesis
              blockers like delays driving design state. *)
           if has_timing s then
             acc :=
-              finding Warning "delay-in-design" item.iid
+              finding Warning "delay-in-design" ~modname item.iid
                 "initial/timed logic is not synthesizable (testbench-only construct)"
               :: !acc
       | _ -> ())
@@ -238,14 +240,28 @@ let check_module (m : module_decl) : finding list =
       Hashtbl.replace tally n
         (kind :: Option.value (Hashtbl.find_opt tally n) ~default:[]))
     (drivers m);
+  (* Any net with more than one structural driver is contention: two
+     continuous assigns, two always blocks, or a mix of the two. The mixed
+     case keeps its more specific diagnosis. *)
   Hashtbl.iter
     (fun n kinds ->
+      let count = List.length kinds in
       let distinct = List.sort_uniq compare kinds in
-      if List.length kinds > 1 && List.length distinct > 1 then
-        acc :=
-          finding Error "multiple-drivers" m.mid
-            "%s is driven by both continuous and procedural logic" n
-          :: !acc)
+      if count > 1 then
+        let f =
+          if List.length distinct > 1 then
+            finding Error "multiple-drivers" ~modname:m.mod_id m.mid
+              "%s is driven by both continuous and procedural logic" n
+          else
+            match distinct with
+            | [ "assign" ] ->
+                finding Error "multiple-drivers" ~modname:m.mod_id m.mid
+                  "%s is driven by %d continuous assignments" n count
+            | _ ->
+                finding Error "multiple-drivers" ~modname:m.mod_id m.mid
+                  "%s is driven by %d always blocks" n count
+        in
+        acc := f :: !acc)
     tally;
   List.rev !acc
 
@@ -253,6 +269,6 @@ let check_design (d : design) : (string * finding list) list =
   List.map (fun m -> (m.mod_id, check_module m)) d
 
 let pp_finding fmt (f : finding) =
-  Format.fprintf fmt "%s [%s] node %d: %s"
+  Format.fprintf fmt "%s [%s] %s:%d: %s"
     (match f.severity with Warning -> "warning" | Error -> "error")
-    f.rule f.node f.message
+    f.rule f.modname f.node f.message

@@ -122,25 +122,95 @@ let test_lint_free_running_always () =
     (List.mem "free-running-always" (rules (Verilog.Lint.check_module m)))
 
 let test_lint_multiple_drivers () =
-  let m =
+  (* One structural driver per net: clean (near miss). *)
+  let chain =
     parse_m
       "module m(a, y); input a; output y; reg r; wire y;\n\
        assign y = r;\n\
        assign r = a;\n\
        endmodule"
   in
-  (* r is driven by assign while also being a reg target elsewhere? Use an
-     always block to create the conflict instead. *)
-  ignore m;
-  let m2 =
+  Alcotest.(check bool) "driver chain clean" false
+    (List.mem "multiple-drivers" (rules (Verilog.Lint.check_module chain)));
+  (* Mixed continuous/procedural drivers keep the specific message. *)
+  let mixed =
     parse_m
       "module m(a, c, y); input a, c; output y; wire y;\n\
        assign y = a;\n\
        always @(posedge c) y <= a;\n\
        endmodule"
   in
-  Alcotest.(check bool) "multi driver" true
-    (List.mem "multiple-drivers" (rules (Verilog.Lint.check_module m2)))
+  let mixed_findings = Verilog.Lint.check_module mixed in
+  Alcotest.(check bool) "mixed driver" true
+    (List.mem "multiple-drivers" (rules mixed_findings));
+  let mixed_msg =
+    List.find
+      (fun (f : Verilog.Lint.finding) -> f.rule = "multiple-drivers")
+      mixed_findings
+  in
+  Alcotest.(check bool) "mixed message" true
+    (try
+       ignore
+         (Str.search_forward
+            (Str.regexp_string "continuous and procedural")
+            mixed_msg.message 0);
+       true
+     with Not_found -> false)
+
+let test_lint_same_kind_multiple_drivers () =
+  (* Two continuous assigns to the same net: structural conflict even
+     though the driver kinds agree. *)
+  let double_assign =
+    parse_m
+      "module m(a, b, y); input a, b; output y; wire y;\n\
+       assign y = a;\n\
+       assign y = b;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "two assigns flagged" true
+    (List.mem "multiple-drivers"
+       (rules (Verilog.Lint.check_module double_assign)));
+  (* Two clocked blocks writing the same reg. *)
+  let double_always =
+    parse_m
+      "module m(c, a, b, q); input c, a, b; output q; reg q;\n\
+       always @(posedge c) q <= a;\n\
+       always @(posedge c) q <= b;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "two always flagged" true
+    (List.mem "multiple-drivers"
+       (rules (Verilog.Lint.check_module double_always)));
+  (* Near miss: two writes to the same reg inside ONE block are fine. *)
+  let one_block =
+    parse_m
+      "module m(c, a, b, s, q); input c, a, b, s; output q; reg q;\n\
+       always @(posedge c) begin if (s) q <= a; else q <= b; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "single block clean" false
+    (List.mem "multiple-drivers" (rules (Verilog.Lint.check_module one_block)))
+
+let test_lint_finding_carries_module () =
+  let m =
+    parse_m
+      "module widget(a, b, y); input a, b; output y; wire y;\n\
+       assign y = a;\n\
+       assign y = b;\n\
+       endmodule"
+  in
+  let f =
+    List.find
+      (fun (f : Verilog.Lint.finding) -> f.rule = "multiple-drivers")
+      (Verilog.Lint.check_module m)
+  in
+  Alcotest.(check string) "modname recorded" "widget" f.modname;
+  let rendered = Format.asprintf "%a" Verilog.Lint.pp_finding f in
+  Alcotest.(check bool) "pp prints module:node" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "widget:") rendered 0);
+       true
+     with Not_found -> false)
 
 let test_lint_parameters_not_flagged () =
   let m =
@@ -152,6 +222,334 @@ let test_lint_parameters_not_flagged () =
   in
   Alcotest.(check bool) "parameter exempt" false
     (List.mem "incomplete-sensitivity" (rules (Verilog.Lint.check_module m)))
+
+(* --- Semantic analysis ---------------------------------------------------- *)
+
+let analyze ?design ?checks m = Verilog.Analysis.check_module ?design ?checks m
+
+let test_analysis_comb_loop_assigns () =
+  let m =
+    parse_m
+      "module m(y); output y; wire a, b; wire y;\n\
+       assign a = b;\n\
+       assign b = a;\n\
+       assign y = a;\n\
+       endmodule"
+  in
+  let findings = analyze ~checks:[ Verilog.Analysis.Comb_loop ] m in
+  Alcotest.(check bool) "assign cycle flagged" true
+    (List.mem "comb-loop" (rules findings));
+  Alcotest.(check bool) "is an error" true
+    (List.exists
+       (fun (f : Verilog.Lint.finding) ->
+         f.rule = "comb-loop" && f.severity = Verilog.Lint.Error)
+       findings);
+  (* Near miss: an acyclic assign chain is clean. *)
+  let chain =
+    parse_m
+      "module m(a, y); input a; output y; wire t; wire y;\n\
+       assign t = a;\n\
+       assign y = t;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "acyclic chain clean" false
+    (List.mem "comb-loop" (rules (analyze chain)))
+
+let test_analysis_comb_loop_always_star () =
+  let m =
+    parse_m
+      "module m(y); output y; reg x; wire y;\n\
+       always @(*) x = x + 1;\n\
+       assign y = x;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "self loop through @(*)" true
+    (List.mem "comb-loop" (rules (analyze m)));
+  (* Near miss: x is not in the explicit sensitivity list, so writing x
+     does not re-trigger the block — no zero-delay cycle. *)
+  let gated =
+    parse_m
+      "module m(a, y); input a; output y; reg x; wire y;\n\
+       always @(a) x = x + 1;\n\
+       assign y = x;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "not in sensitivity: clean" false
+    (List.mem "comb-loop" (rules (analyze gated)))
+
+let test_analysis_comb_loop_clocked_exempt () =
+  (* q <= q + 1 under a clock edge is ordinary sequential logic. *)
+  let m =
+    parse_m
+      "module m(c, q); input c; output q; reg [3:0] q;\n\
+       initial q = 0;\n\
+       always @(posedge c) q <= q + 1;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "clocked increment clean" false
+    (List.mem "comb-loop" (rules (analyze m)))
+
+let test_analysis_comb_loop_ordering () =
+  (* t = y; y = a; inside one comb block: t reads y's old value but y never
+     reads t — per-assignment edges, so no cycle. *)
+  let m =
+    parse_m
+      "module m(a, y); input a; output y; reg t; reg y;\n\
+       always @(*) begin t = y; y = a; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "straight-line comb block clean" false
+    (List.mem "comb-loop" (rules (analyze m)));
+  (* Whereas y = t; t = y; genuinely cycles through the two assignments. *)
+  let cyclic =
+    parse_m
+      "module m(a, y); input a; output y; reg t; reg y;\n\
+       always @(*) begin y = t; t = y; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "mutual comb assignments flagged" true
+    (List.mem "comb-loop" (rules (analyze cyclic)))
+
+let test_analysis_uninit_reg () =
+  (* A clocked register with no reset path, no initializer: powers up x. *)
+  let m =
+    parse_m
+      "module m(c, q); input c; output q; reg q;\n\
+       always @(posedge c) q <= ~q;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "no reset flagged" true
+    (List.mem "uninit-reg" (rules (analyze m)));
+  (* Near misses: a reset branch, a declaration initializer, or an initial
+     block each count as initialization. *)
+  let with_reset =
+    parse_m
+      "module m(c, r, q); input c, r; output q; reg q;\n\
+       always @(posedge c or posedge r)\n\
+       if (r) q <= 0; else q <= ~q;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "reset branch clean" false
+    (List.mem "uninit-reg" (rules (analyze with_reset)));
+  let with_decl_init =
+    parse_m
+      "module m(c, q); input c; output q; reg q = 0;\n\
+       always @(posedge c) q <= ~q;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "decl init clean" false
+    (List.mem "uninit-reg" (rules (analyze with_decl_init)));
+  let with_initial =
+    parse_m
+      "module m(c, q); input c; output q; reg q;\n\
+       initial q = 0;\n\
+       always @(posedge c) q <= ~q;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "initial block clean" false
+    (List.mem "uninit-reg" (rules (analyze with_initial)))
+
+let test_analysis_never_assigned () =
+  let m =
+    parse_m
+      "module m(y); output y; reg r; wire y;\n\
+       assign y = r;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "never-assigned reg flagged" true
+    (List.exists
+       (fun (f : Verilog.Lint.finding) ->
+         f.rule = "uninit-reg"
+         &&
+         try
+           ignore (Str.search_forward (Str.regexp_string "never assigned") f.message 0);
+           true
+         with Not_found -> false)
+       (analyze m))
+
+let test_analysis_width_truncation () =
+  let m =
+    parse_m
+      "module m(a, y); input [7:0] a; output y; wire [3:0] n; wire y;\n\
+       assign n = a;\n\
+       assign y = n[0];\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "8 into 4 flagged" true
+    (List.mem "width-truncation" (rules (analyze m)));
+  (* Near misses: matching widths, and the ubiquitous q <= q + 1 idiom
+     (integer literals are context-flexible). *)
+  let same =
+    parse_m
+      "module m(a, y); input [3:0] a; output y; wire [3:0] n; wire y;\n\
+       assign n = a;\n\
+       assign y = n[0];\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "same width clean" false
+    (List.mem "width-truncation" (rules (analyze same)));
+  let incr =
+    parse_m
+      "module m(c, q); input c; output [3:0] q; reg [3:0] q;\n\
+       initial q = 0;\n\
+       always @(posedge c) q <= q + 1;\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "q <= q + 1 clean" false
+    (List.mem "width-truncation" (rules (analyze incr)))
+
+let test_analysis_literal_overflow () =
+  let m =
+    parse_m
+      "module m(y); output y; reg [3:0] n; wire y;\n\
+       initial n = 300;\n\
+       assign y = n[0];\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "300 into 4 bits flagged" true
+    (List.mem "width-truncation" (rules (analyze m)));
+  let fits =
+    parse_m
+      "module m(y); output y; reg [3:0] n; wire y;\n\
+       initial n = 7;\n\
+       assign y = n[0];\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "7 into 4 bits clean" false
+    (List.mem "width-truncation" (rules (analyze fits)))
+
+let test_analysis_port_width () =
+  let d =
+    parse
+      "module sub(i, o); input [3:0] i; output [3:0] o; assign o = i; endmodule\n\
+       module top(a, y); input [7:0] a; output [3:0] y;\n\
+       sub u (.i(a), .o(y));\n\
+       endmodule"
+  in
+  let top = List.find (fun m -> m.Verilog.Ast.mod_id = "top") d in
+  Alcotest.(check bool) "8-bit actual on 4-bit port flagged" true
+    (List.mem "port-width" (rules (analyze ~design:d top)));
+  let d2 =
+    parse
+      "module sub(i, o); input [3:0] i; output [3:0] o; assign o = i; endmodule\n\
+       module top(a, y); input [3:0] a; output [3:0] y;\n\
+       sub u (.i(a), .o(y));\n\
+       endmodule"
+  in
+  let top2 = List.find (fun m -> m.Verilog.Ast.mod_id = "top") d2 in
+  Alcotest.(check bool) "matching ports clean" false
+    (List.mem "port-width" (rules (analyze ~design:d2 top2)))
+
+let test_analysis_const_cond () =
+  let m =
+    parse_m
+      "module m(a, y); input a; output y; reg y;\n\
+       always @(*) begin if (1'b1) y = a; else y = 0; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "constant condition flagged" true
+    (List.mem "constant-condition" (rules (analyze m)));
+  let param_cond =
+    parse_m
+      "module m(a, y); input a; output y; reg y;\n\
+       parameter MODE = 1;\n\
+       always @(*) begin if (MODE > 0) y = a; else y = 0; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "parameter condition flagged" true
+    (List.mem "constant-condition" (rules (analyze param_cond)));
+  (* Near miss: a genuine data-dependent condition. *)
+  let live =
+    parse_m
+      "module m(a, b, y); input a, b; output y; reg y;\n\
+       always @(*) begin if (a) y = b; else y = 0; end\n\
+       endmodule"
+  in
+  Alcotest.(check bool) "live condition clean" false
+    (List.mem "constant-condition" (rules (analyze live)))
+
+let test_analysis_screen () =
+  let looping =
+    parse_m
+      "module m(y); output y; wire a, b; wire y;\n\
+       assign a = b;\n\
+       assign b = a;\n\
+       assign y = a;\n\
+       endmodule"
+  in
+  (match Verilog.Analysis.screen ~checks:[ Verilog.Analysis.Comb_loop ] looping with
+  | Some msg ->
+      Alcotest.(check bool) "message mentions the loop" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "comb-loop") msg 0);
+           true
+         with Not_found -> false)
+  | None -> Alcotest.fail "screen missed the loop");
+  let clean =
+    parse_m "module m(a, y); input a; output y; wire y; assign y = a; endmodule"
+  in
+  Alcotest.(check bool) "clean module passes" true
+    (Verilog.Analysis.screen ~checks:Verilog.Analysis.all_checks clean = None)
+
+(* --- Screener in the repair loop ------------------------------------------ *)
+
+let screener_problem () =
+  let golden =
+    "module m(a, y); input a; output y; reg y; reg t;\n\
+     always @(*) begin t = a; y = t; end\n\
+     endmodule"
+  in
+  (* The injected defect rewires t to read y: a zero-delay combinational
+     loop t -> y -> t that static analysis can refute without simulating. *)
+  let faulty =
+    "module m(a, y); input a; output y; reg y; reg t;\n\
+     always @(*) begin t = y; y = t; end\n\
+     endmodule"
+  in
+  let testbench =
+    "module m_tb; reg clk; reg a; wire y;\n\
+     m dut (.a(a), .y(y));\n\
+     initial clk = 0;\n\
+     always #5 clk = ~clk;\n\
+     initial begin a = 0; #10 a = 1; #10 a = 0; #5 $finish; end\n\
+     endmodule"
+  in
+  Cirfix.Problem.make ~name:"screener-demo" ~faulty ~golden ~testbench
+    ~target:"m"
+    { Sim.Simulate.top = "m_tb"; clock = "m_tb.clk"; dut_path = "m_tb.dut" }
+
+let test_evaluate_rejects_static () =
+  let problem = screener_problem () in
+  let ev = Cirfix.Evaluate.create Cirfix.Config.default problem in
+  let faulty = Cirfix.Problem.target_module problem in
+  let o = Cirfix.Evaluate.eval_module ev faulty in
+  (match o.status with
+  | Cirfix.Evaluate.Rejected_static _ -> ()
+  | _ -> Alcotest.fail "expected Rejected_static");
+  Alcotest.(check (float 1e-9)) "fitness zero" 0.0 o.fitness;
+  Alcotest.(check int) "no simulation spent" 0 ev.probes;
+  Alcotest.(check int) "one reject" 1 ev.static_rejects;
+  (* Memoized: a second evaluation hits the cache, not the counter. *)
+  ignore (Cirfix.Evaluate.eval_module ev faulty);
+  Alcotest.(check int) "still one reject" 1 ev.static_rejects
+
+let test_gp_screener_end_to_end () =
+  let problem = screener_problem () in
+  let cfg =
+    {
+      Cirfix.Config.default with
+      seed = 1;
+      pop_size = 10;
+      max_generations = 2;
+      max_probes = 50;
+    }
+  in
+  let r = Cirfix.Gp.repair cfg problem in
+  Alcotest.(check bool) "screener fired" true (r.static_rejects > 0);
+  (* Disabling the screener recovers the old behavior: nothing is
+     statically rejected. *)
+  let off = Cirfix.Gp.repair { cfg with screen_mutants = false } problem in
+  Alcotest.(check int) "screening off" 0 off.static_rejects
 
 (* --- Coverage -------------------------------------------------------------- *)
 
@@ -307,8 +705,36 @@ let () =
           Alcotest.test_case "mixed sensitivity" `Quick test_lint_mixed_sensitivity;
           Alcotest.test_case "free running" `Quick test_lint_free_running_always;
           Alcotest.test_case "multiple drivers" `Quick test_lint_multiple_drivers;
+          Alcotest.test_case "same-kind multiple drivers" `Quick
+            test_lint_same_kind_multiple_drivers;
+          Alcotest.test_case "finding carries module" `Quick
+            test_lint_finding_carries_module;
           Alcotest.test_case "parameters exempt" `Quick
             test_lint_parameters_not_flagged;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "comb loop: assigns" `Quick
+            test_analysis_comb_loop_assigns;
+          Alcotest.test_case "comb loop: always @(*)" `Quick
+            test_analysis_comb_loop_always_star;
+          Alcotest.test_case "comb loop: clocked exempt" `Quick
+            test_analysis_comb_loop_clocked_exempt;
+          Alcotest.test_case "comb loop: ordering" `Quick
+            test_analysis_comb_loop_ordering;
+          Alcotest.test_case "uninit reg" `Quick test_analysis_uninit_reg;
+          Alcotest.test_case "never assigned" `Quick test_analysis_never_assigned;
+          Alcotest.test_case "width truncation" `Quick
+            test_analysis_width_truncation;
+          Alcotest.test_case "literal overflow" `Quick
+            test_analysis_literal_overflow;
+          Alcotest.test_case "port width" `Quick test_analysis_port_width;
+          Alcotest.test_case "constant condition" `Quick test_analysis_const_cond;
+          Alcotest.test_case "screen" `Quick test_analysis_screen;
+          Alcotest.test_case "evaluate rejects static" `Quick
+            test_evaluate_rejects_static;
+          Alcotest.test_case "gp screener end to end" `Quick
+            test_gp_screener_end_to_end;
         ] );
       ( "coverage",
         [
