@@ -481,6 +481,90 @@ let ablation_params () =
     \ exact GP parameter values; the flat response across cells agrees.)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel repair throughput (BENCH_repair.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Measure the parallel evaluation layer: run the same seeded GP search
+   at jobs=1 and jobs=N on the counter and decoder scenarios, record
+   wall time / sims-per-second / speedup, and check the determinism
+   contract (identical patch and probe count at every jobs value). The
+   budget is probe-bound with a generous wall limit, so both runs do the
+   same work and the comparison is fair. *)
+let repair_perf () =
+  section "Parallel repair throughput (writes BENCH_repair.json)";
+  let jobs_hi = max 2 (Cirfix.Config.default_jobs ()) in
+  let scenarios = [ 1; 2; 3; 4; 5 ] in
+  let run id jobs =
+    let d = Bench_suite.Defects.find id in
+    let cfg =
+      {
+        (Bench_suite.Runner.scenario_config d) with
+        seed = 1;
+        max_probes = (if !quick then 1_500 else 6_000);
+        max_wall_seconds = 600.0;
+        jobs;
+      }
+    in
+    (d, Cirfix.Gp.repair cfg (Bench_suite.Defects.problem d))
+  in
+  Printf.printf "%-4s %-16s %10s %10s %12s %12s %8s %s\n" "Id" "Project"
+    "wall(j=1)" "wall(j=N)" "sims/s(j=1)" "sims/s(j=N)" "speedup"
+    "deterministic";
+  let rows =
+    List.map
+      (fun id ->
+        let d, r1 = run id 1 in
+        let _, rn = run id jobs_hi in
+        let s1 =
+          Cirfix.Stats.sims_per_sec ~probes:r1.probes
+            ~wall_seconds:r1.wall_seconds
+        and sn =
+          Cirfix.Stats.sims_per_sec ~probes:rn.probes
+            ~wall_seconds:rn.wall_seconds
+        in
+        let speedup = if s1 > 0. then sn /. s1 else 0. in
+        let deterministic =
+          r1.probes = rn.probes && r1.minimized = rn.minimized
+          && r1.mutants_generated = rn.mutants_generated
+        in
+        Printf.printf "%-4d %-16s %10.2f %10.2f %12.1f %12.1f %7.2fx %b\n" d.id
+          d.project r1.wall_seconds rn.wall_seconds s1 sn speedup deterministic;
+        (d, r1, rn, s1, sn, speedup, deterministic))
+      scenarios
+  in
+  let json_row (d : Bench_suite.Defects.t) (r1 : Cirfix.Gp.result)
+      (rn : Cirfix.Gp.result) s1 sn speedup deterministic =
+    Printf.sprintf
+      "    { \"id\": %d, \"project\": \"%s\", \"probes\": %d,\n\
+      \      \"wall_seconds_jobs1\": %.3f, \"wall_seconds_jobsN\": %.3f,\n\
+      \      \"sims_per_sec_jobs1\": %.1f, \"sims_per_sec_jobsN\": %.1f,\n\
+      \      \"speedup\": %.3f, \"deterministic\": %b }"
+      d.id d.project r1.probes r1.wall_seconds rn.wall_seconds s1 sn speedup
+      deterministic
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"jobs_low\": 1,\n\
+      \  \"jobs_high\": %d,\n\
+      \  \"cores_available\": %d,\n\
+      \  \"note\": \"speedup is bounded by physical cores; on a single-core \
+       host the parallel layer adds coordination overhead and speedup <= 1 \
+       is expected\",\n\
+      \  \"scenarios\": [\n%s\n  ]\n}\n"
+      jobs_hi
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n"
+         (List.map
+            (fun (d, r1, rn, s1, sn, sp, det) -> json_row d r1 rn s1 sn sp det)
+            rows))
+  in
+  Out_channel.with_open_text "BENCH_repair.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "\nwrote BENCH_repair.json (jobs_high=%d, cores=%d)\n" jobs_hi
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -559,6 +643,7 @@ let artifacts =
     ("ablation-fixloc", ablation_fixloc);
     ("ablation-phi", ablation_phi);
     ("ablation-params", ablation_params);
+    ("repair-perf", repair_perf);
     ("perf", perf);
   ]
 

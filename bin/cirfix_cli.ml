@@ -191,8 +191,18 @@ let localize_cmd =
 
 (* --- repair ----------------------------------------------------------------- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Cirfix.Config.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel candidate evaluation (1 = sequential;\n\
+           default: recommended domain count minus one). Results are\n\
+           identical for any value when the wall-clock bound does not bind.")
+
 let repair design golden testbench target top clock dut seed pop_size
-    generations max_probes wall output =
+    generations max_probes wall jobs output =
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
   and tb = or_die (read_file testbench) in
@@ -208,6 +218,7 @@ let repair design golden testbench target top clock dut seed pop_size
       max_generations = generations;
       max_probes;
       max_wall_seconds = wall;
+      jobs;
     }
   in
   let on_generation (g : Cirfix.Gp.generation_stats) =
@@ -217,9 +228,13 @@ let repair design golden testbench target top clock dut seed pop_size
   let r = Cirfix.Gp.repair ~on_generation cfg problem in
   Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
   Printf.printf
-    "probes: %d, mutants: %d, compile errors: %d, static rejects: %d, wall: %.1fs\n"
+    "probes: %d, mutants: %d, compile errors: %d, static rejects: %d, \
+     oversize rejects: %d, wall: %.1fs\n"
     r.probes r.mutants_generated r.compile_errors r.static_rejects
-    r.wall_seconds;
+    r.oversize_rejects r.wall_seconds;
+  Printf.printf "throughput: %.1f sims/sec (jobs=%d)\n"
+    (Cirfix.Stats.sims_per_sec ~probes:r.probes ~wall_seconds:r.wall_seconds)
+    cfg.jobs;
   match (r.minimized, r.repaired_module) with
   | Some patch, Some m ->
       Printf.printf "REPAIRED (minimized to %d edits):\n  %s\n"
@@ -249,6 +264,7 @@ let repair_cmd =
       $ Arg.(value & opt int 40 & info [ "generations" ] ~doc:"Max generations.")
       $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
       $ Arg.(value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
+      $ jobs_arg
       $ Arg.(
           value
           & opt (some string) None
@@ -352,12 +368,13 @@ let analyze_cmd =
 
 (* --- scenarios ------------------------------------------------------------------ *)
 
-let scenarios id dump run_it trials =
+let scenarios id dump run_it trials jobs =
   let selected =
     match id with
     | Some n -> [ Bench_suite.Defects.find n ]
     | None -> Bench_suite.Defects.all
   in
+  Cirfix.Pool.with_pool ~jobs @@ fun pool ->
   List.iter
     (fun (d : Bench_suite.Defects.t) ->
       Printf.printf "#%-3d %-22s cat%d  %s\n" d.id d.project d.category
@@ -367,12 +384,17 @@ let scenarios id dump run_it trials =
         print_endline (Bench_suite.Defects.inject d));
       if run_it then (
         let cfg = Bench_suite.Runner.scenario_config d in
-        let s = Bench_suite.Runner.run_defect ~cfg ~trials d in
-        Printf.printf "  result: %s (%.1fs, %d probes, %d static rejects)\n"
+        let s = Bench_suite.Runner.run_defect ~cfg ~trials ~pool d in
+        Printf.printf
+          "  result: %s (%.1fs, %d probes, %.1f sims/sec, %d static rejects, \
+           %d oversize rejects)\n"
           (if s.correct then "correct repair"
            else if s.repaired then "plausible repair"
            else "no repair")
-          s.total_seconds s.probes s.static_rejects;
+          s.total_seconds s.probes
+          (Cirfix.Stats.sims_per_sec ~probes:s.probes
+             ~wall_seconds:s.total_seconds)
+          s.static_rejects s.oversize_rejects;
         match s.patch with
         | Some p -> Printf.printf "  patch: %s\n" (Cirfix.Patch.to_string p)
         | None -> ()))
@@ -390,7 +412,8 @@ let scenarios_cmd =
           & info [ "id" ] ~docv:"N" ~doc:"Only scenario N (1..32).")
       $ Arg.(value & flag & info [ "dump-faulty" ] ~doc:"Print the faulty source.")
       $ Arg.(value & flag & info [ "run" ] ~doc:"Run CirFix on the scenario(s).")
-      $ Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Trials per scenario."))
+      $ Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Trials per scenario.")
+      $ jobs_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 

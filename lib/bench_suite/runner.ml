@@ -1,7 +1,12 @@
 (* Trial orchestration for the evaluation harness: run CirFix on a defect
    scenario for up to N independent seeded trials (the paper runs 5),
    stopping at the first plausible repair, then classify the repair as
-   correct vs. testbench-overfitting on the held-out validation bench. *)
+   correct vs. testbench-overfitting on the held-out validation bench.
+
+   Trials are independent (each derives its RNG from its seed), so a
+   domain pool can score them speculatively in parallel; the summary is
+   then folded in seed order, replaying the sequential stop-at-first-repair
+   accounting, which makes it identical to a sequential run. *)
 
 type trial_summary = {
   defect : Defects.t;
@@ -11,6 +16,7 @@ type trial_summary = {
   total_seconds : float; (* across all trials run *)
   probes : int; (* fitness evaluations across all trials *)
   static_rejects : int; (* mutants screened out statically, across all trials *)
+  oversize_rejects : int; (* mutants rejected for size, across all trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -20,56 +26,91 @@ type trial_summary = {
   initial_fitness : float;
 }
 
-let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
-    ?(on_trial : (int -> unit) option) (d : Defects.t) : trial_summary =
-  let problem = Defects.problem d in
-  let rec go seed ~total_probes ~total_rejects ~total_seconds ~initial_fitness =
-    if seed > trials then
-      {
-        defect = d;
-        repaired = false;
-        correct = false;
-        seconds = total_seconds;
-        total_seconds;
-        probes = total_probes;
-        static_rejects = total_rejects;
-        edits = 0;
-        trials_run = trials;
-        winning_seed = None;
-        patch = None;
-        repaired_module = None;
-        generations = [];
-        initial_fitness;
-      }
-    else (
-      Option.iter (fun f -> f seed) on_trial;
-      let r = Cirfix.Gp.repair { cfg with seed } problem in
-      let total_probes = total_probes + r.probes in
-      let total_rejects = total_rejects + r.static_rejects in
-      let total_seconds = total_seconds +. r.wall_seconds in
-      match (r.minimized, r.repaired_module) with
-      | Some patch, Some m ->
-          {
-            defect = d;
-            repaired = true;
-            correct = Defects.is_correct d m;
-            seconds = r.wall_seconds;
-            total_seconds;
-            probes = total_probes;
-            static_rejects = total_rejects;
-            edits = List.length patch;
-            trials_run = seed;
-            winning_seed = Some seed;
-            patch = Some patch;
-            repaired_module = Some m;
-            generations = r.generations;
-            initial_fitness = r.initial_fitness;
-          }
-      | _ ->
-          go (seed + 1) ~total_probes ~total_rejects ~total_seconds
-            ~initial_fitness:r.initial_fitness)
+(* Fold per-seed results (seed order) into the summary, stopping at the
+   first plausible repair as the sequential driver does. *)
+let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
+    : trial_summary =
+  let rec go seed ~total_probes ~total_statics ~total_oversize ~total_seconds
+      ~initial_fitness = function
+    | [] ->
+        {
+          defect = d;
+          repaired = false;
+          correct = false;
+          seconds = total_seconds;
+          total_seconds;
+          probes = total_probes;
+          static_rejects = total_statics;
+          oversize_rejects = total_oversize;
+          edits = 0;
+          trials_run = trials;
+          winning_seed = None;
+          patch = None;
+          repaired_module = None;
+          generations = [];
+          initial_fitness;
+        }
+    | (r : Cirfix.Gp.result) :: rest -> (
+        let total_probes = total_probes + r.probes in
+        let total_statics = total_statics + r.static_rejects in
+        let total_oversize = total_oversize + r.oversize_rejects in
+        let total_seconds = total_seconds +. r.wall_seconds in
+        match (r.minimized, r.repaired_module) with
+        | Some patch, Some m ->
+            {
+              defect = d;
+              repaired = true;
+              correct = Defects.is_correct d m;
+              seconds = r.wall_seconds;
+              total_seconds;
+              probes = total_probes;
+              static_rejects = total_statics;
+              oversize_rejects = total_oversize;
+              edits = List.length patch;
+              trials_run = seed;
+              winning_seed = Some seed;
+              patch = Some patch;
+              repaired_module = Some m;
+              generations = r.generations;
+              initial_fitness = r.initial_fitness;
+            }
+        | _ ->
+            go (seed + 1) ~total_probes ~total_statics ~total_oversize
+              ~total_seconds ~initial_fitness:r.initial_fitness rest)
   in
-  go 1 ~total_probes:0 ~total_rejects:0 ~total_seconds:0. ~initial_fitness:0.
+  go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_seconds:0.
+    ~initial_fitness:0. results
+
+(* [pool]: when given (and wider than one domain), all [trials] seeds run
+   speculatively in parallel — each trial forced to jobs=1 so the pool is
+   not oversubscribed — and the fold above discards the trials a
+   sequential run would never have started. Without a pool, trials run
+   sequentially, stopping at the first repair; each trial then uses
+   [cfg.jobs] domains internally. *)
+let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
+    ?(on_trial : (int -> unit) option) ?(pool : Cirfix.Pool.t option)
+    (d : Defects.t) : trial_summary =
+  let problem = Defects.problem d in
+  match pool with
+  | Some pool when Cirfix.Pool.size pool > 1 && trials > 1 ->
+      let seeds = Array.init trials (fun i -> i + 1) in
+      Array.iter (fun s -> Option.iter (fun f -> f s) on_trial) seeds;
+      let results =
+        Cirfix.Pool.map pool
+          (fun seed -> Cirfix.Gp.repair { cfg with seed; jobs = 1 } problem)
+          seeds
+      in
+      summarize d ~trials (Array.to_list results)
+  | _ ->
+      let rec go seed acc =
+        if seed > trials then summarize d ~trials (List.rev acc)
+        else (
+          Option.iter (fun f -> f seed) on_trial;
+          let r = Cirfix.Gp.repair { cfg with seed } problem in
+          if r.minimized <> None then summarize d ~trials (List.rev (r :: acc))
+          else go (seed + 1) (r :: acc))
+      in
+      go 1 []
 
 (* Resource presets: larger projects get a longer leash, mirroring the
    paper's uniform 12-hour bound scaled to our in-process simulator. *)

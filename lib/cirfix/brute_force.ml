@@ -9,6 +9,7 @@ type result = {
   repaired : Patch.t option;
   probes : int;
   static_rejects : int; (* candidates screened out before simulation *)
+  oversize_rejects : int; (* candidates rejected for implausible size *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -63,30 +64,57 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
   in
   let edits = single_edits original in
-  let try_patch p =
-    if !found = None && not (out_of_resources ()) then (
-      incr tried;
-      if (Evaluate.eval_patch ev original p).fitness >= 1.0 then found := Some p)
-  in
-  (* Depth 1, then depth 2 combinations, ... *)
-  let rec depth_n prefix depth =
-    if depth = 0 then try_patch (List.rev prefix)
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
+  (* The enumeration order of the sequential sweep, as a lazy stream:
+     depth 1, then depth 2 combinations, ... The stream is consumed in
+     chunks that are scored across the pool and committed in order, so the
+     first repair found — and every counter — is the same at any [jobs]. *)
+  let rec depth_seq prefix depth : Patch.t Seq.t =
+    if depth = 0 then Seq.return (List.rev prefix)
     else
-      List.iter
-        (fun e ->
-          if !found = None && not (out_of_resources ()) then
-            depth_n (e :: prefix) (depth - 1))
-        edits
+      Seq.concat_map
+        (fun e -> depth_seq (e :: prefix) (depth - 1))
+        (List.to_seq edits)
+  in
+  let chunk_size = max 16 (4 * Pool.size pool) in
+  let take_chunk (s : Patch.t Seq.t) : Patch.t array * Patch.t Seq.t =
+    let rec go acc n s =
+      if n = 0 then (List.rev acc, s)
+      else
+        match Seq.uncons s with
+        | None -> (List.rev acc, Seq.empty)
+        | Some (p, rest) -> go (p :: acc) (n - 1) rest
+    in
+    let l, rest = go [] chunk_size s in
+    (Array.of_list l, rest)
   in
   let d = ref 1 in
   while !found = None && !d <= max_depth && not (out_of_resources ()) do
-    depth_n [] !d;
+    let stream = ref (depth_seq [] !d) in
+    let exhausted = ref false in
+    while (not !exhausted) && !found = None && not (out_of_resources ()) do
+      let chunk, rest = take_chunk !stream in
+      stream := rest;
+      if Array.length chunk = 0 then exhausted := true
+      else begin
+        let mods = Array.map (Patch.apply original) chunk in
+        let prepared = Evaluate.prepare ev ~pool mods in
+        Array.iteri
+          (fun i p ->
+            if !found = None && not (out_of_resources ()) then (
+              incr tried;
+              if (Evaluate.commit prepared i).fitness >= 1.0 then
+                found := Some p))
+          chunk
+      end
+    done;
     incr d
   done;
   {
     repaired = !found;
     probes = ev.probes;
     static_rejects = ev.static_rejects;
+    oversize_rejects = ev.oversize_rejects;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
   }

@@ -7,6 +7,8 @@ type result = {
   probes : int;
   static_rejects : int;
       (** candidates screened out statically, without simulation *)
+  oversize_rejects : int;
+      (** candidates rejected for implausible size without simulation *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -16,5 +18,7 @@ type result = {
 val single_edits : Verilog.Ast.module_decl -> Patch.edit list
 
 (** Enumerate patches up to [max_depth] edits (default 2) under the
-    configuration's probe and wall-clock budgets. *)
+    configuration's probe and wall-clock budgets. The sweep is scored in
+    chunks across [cfg.jobs] domains; enumeration order, the repair found,
+    and all counters are independent of the parallelism degree. *)
 val search : ?max_depth:int -> Config.t -> Problem.t -> result

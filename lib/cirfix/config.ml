@@ -4,6 +4,11 @@
    size, elitism) identical. All values are CLI-tunable up to paper scale. *)
 
 type t = {
+  jobs : int;
+      (* parallelism degree for candidate evaluation: 1 = the sequential
+         path (no domains spawned); n > 1 = a pool of n domains scoring
+         each proposed batch. Results are independent of [jobs] for a
+         fixed seed (see DESIGN.md, "Parallel evaluation"). *)
   pop_size : int;
   max_generations : int;
   rt_threshold : float; (* probability of applying a repair template *)
@@ -30,8 +35,15 @@ type t = {
          findings imply a wasted simulation *)
 }
 
+(* One evaluation domain per recommended core, minus one for the main
+   (proposing) domain, clamped to [1, 16]. On small machines this is 1,
+   i.e. the sequential path. *)
+let default_jobs () =
+  max 1 (min 16 (Domain.recommended_domain_count () - 1))
+
 let default =
   {
+    jobs = default_jobs ();
     pop_size = 40;
     max_generations = 12;
     rt_threshold = 0.2;

@@ -1,7 +1,16 @@
 (* Candidate evaluation: materialize a patch, simulate the design under the
    instrumented testbench, and score it against the oracle. Evaluations are
-   memoized on the materialized source (distinct patches frequently
-   collapse to the same program). *)
+   memoized on a structural digest of the materialized module (distinct
+   patches frequently collapse to the same program).
+
+   Evaluation splits into a pure compute step ([compute], safe to run on
+   any domain: it touches only immutable fields of [t]) and a sequential
+   accounting step that owns the memo cache and the counters. The batch API
+   ([prepare] / [commit]) exploits this: a batch of candidates is scored
+   speculatively across a domain pool, then committed one by one on the
+   main domain with exactly the accounting the sequential path would have
+   produced — which is what keeps probe counts and cache state identical
+   for every [jobs] setting. *)
 
 type status =
   | Simulated (* ran to completion (or quiesced) *)
@@ -11,6 +20,9 @@ type status =
     (* the pre-simulation screener proved the mutant doomed (e.g. a
        zero-delay combinational loop): scored like a compile error, but
        the simulation budget is never touched *)
+  | Rejected_oversize
+    (* runaway insertion growth: rejected outright, like a mutant that
+       does not compile, without parsing or simulating it *)
 
 type outcome = {
   fitness : float;
@@ -27,6 +39,7 @@ type t = {
   mutable lookups : int; (* total evaluations requested *)
   mutable compile_errors : int; (* non-memoized compile failures *)
   mutable static_rejects : int; (* non-memoized screener rejections *)
+  mutable oversize_rejects : int; (* non-memoized too-large rejections *)
 }
 
 let create (cfg : Config.t) (problem : Problem.t) : t =
@@ -40,53 +53,49 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     lookups = 0;
     compile_errors = 0;
     static_rejects = 0;
+    oversize_rejects = 0;
   }
 
-let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
-  ev.lookups <- ev.lookups + 1;
-  (* Bloated candidates (runaway insertion growth) are rejected outright,
-     like mutants that fail to compile. *)
-  if Verilog.Ast_utils.module_size candidate > (20 * ev.original_size) + 512
-  then (
-    ev.compile_errors <- ev.compile_errors + 1;
-    { fitness = 0.; trace = []; status = Compile_error "candidate too large" })
+(* Bloated candidates (runaway insertion growth) are rejected outright,
+   like mutants that fail to compile. *)
+let oversize (ev : t) (candidate : Verilog.Ast.module_decl) : bool =
+  Verilog.Ast_utils.module_size candidate > (20 * ev.original_size) + 512
+
+let key_of (candidate : Verilog.Ast.module_decl) : string =
+  Verilog.Ast_utils.structural_hash candidate
+
+let oversize_outcome = { fitness = 0.; trace = []; status = Rejected_oversize }
+
+(* Score one candidate without touching the cache or any counter. Reads
+   only immutable state ([cfg], [problem], [original_size]), so concurrent
+   calls from worker domains are safe. *)
+let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
+  if oversize ev candidate then oversize_outcome
   else begin
-  let key = Digest.string (Verilog.Pp.module_to_string candidate) in
-  match Hashtbl.find_opt ev.cache key with
-  | Some o -> o
-  | None -> (
-      let screened =
-        if ev.cfg.screen_mutants then
-          Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate
-        else None
-      in
-      match screened with
-      | Some msg ->
-          (* Pre-simulation screening: the candidate is statically doomed,
-             so reject it (scored like a compile error) without spending a
-             simulation. Rejections are memoized like every other outcome. *)
-          ev.static_rejects <- ev.static_rejects + 1;
-          let outcome =
-            { fitness = 0.; trace = []; status = Rejected_static msg }
-          in
-          Hashtbl.replace ev.cache key outcome;
-          outcome
-      | None ->
-      ev.probes <- ev.probes + 1;
-      let design = Problem.with_candidate ev.problem candidate in
-      (* Candidates get a budget proportional to the golden run: a mutant
-         spinning in a zero-delay loop is cut off quickly instead of
-         burning the whole per-candidate ceiling. *)
-      let max_steps =
-        min ev.cfg.max_sim_steps ((ev.problem.golden_steps * 10) + 5_000)
-      in
-      let max_time =
-        min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
-      in
-      let outcome =
-        match Sim.Simulate.run ~max_steps ~max_time design ev.problem.spec with
+    let screened =
+      if ev.cfg.screen_mutants then
+        Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate
+      else None
+    in
+    match screened with
+    | Some msg ->
+        (* Pre-simulation screening: the candidate is statically doomed,
+           so reject it (scored like a compile error) without spending a
+           simulation. *)
+        { fitness = 0.; trace = []; status = Rejected_static msg }
+    | None ->
+        let design = Problem.with_candidate ev.problem candidate in
+        (* Candidates get a budget proportional to the golden run: a mutant
+           spinning in a zero-delay loop is cut off quickly instead of
+           burning the whole per-candidate ceiling. *)
+        let max_steps =
+          min ev.cfg.max_sim_steps ((ev.problem.golden_steps * 10) + 5_000)
+        in
+        let max_time =
+          min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
+        in
+        (match Sim.Simulate.run ~max_steps ~max_time design ev.problem.spec with
         | Error (Sim.Simulate.Elab_failure msg) ->
-            ev.compile_errors <- ev.compile_errors + 1;
             { fitness = 0.; trace = []; status = Compile_error msg }
         | Ok r -> (
             match r.outcome with
@@ -109,12 +118,91 @@ let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
                   status = Sim_diverged "time limit";
                 }
             | Sim.Engine.Budget_exceeded m ->
-                { fitness = 0.; trace = []; status = Sim_diverged m })
-      in
-      Hashtbl.replace ev.cache key outcome;
-      outcome)
+                { fitness = 0.; trace = []; status = Sim_diverged m }))
   end
+
+(* Counter accounting for a freshly computed (non-memoized) outcome,
+   mirroring what the sequential path charges per status. *)
+let account (ev : t) (o : outcome) =
+  match o.status with
+  | Rejected_static _ -> ev.static_rejects <- ev.static_rejects + 1
+  | Rejected_oversize -> ev.oversize_rejects <- ev.oversize_rejects + 1
+  | Compile_error _ ->
+      ev.probes <- ev.probes + 1;
+      ev.compile_errors <- ev.compile_errors + 1
+  | Simulated | Sim_diverged _ -> ev.probes <- ev.probes + 1
+
+let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
+  ev.lookups <- ev.lookups + 1;
+  let key = key_of candidate in
+  match Hashtbl.find_opt ev.cache key with
+  | Some o -> o
+  | None ->
+      let outcome = compute ev candidate in
+      account ev outcome;
+      Hashtbl.replace ev.cache key outcome;
+      outcome
 
 let eval_patch (ev : t) (original : Verilog.Ast.module_decl) (p : Patch.t) :
     outcome =
   eval_module ev (Patch.apply original p)
+
+(* --- Batched evaluation over a domain pool ------------------------------ *)
+
+type prepared = {
+  ev : t;
+  candidates : Verilog.Ast.module_decl array;
+  keys : string array;
+  computed : (string, outcome) Hashtbl.t;
+      (* speculative results for keys that were cache misses at prepare
+         time; empty on the sequential path *)
+}
+
+let prepare (ev : t) ~(pool : Pool.t)
+    (candidates : Verilog.Ast.module_decl array) : prepared =
+  let keys = Array.map key_of candidates in
+  let computed = Hashtbl.create (Array.length candidates) in
+  if Pool.size pool > 1 then begin
+    (* First occurrence of each un-cached key gets scored; duplicates and
+       cache hits are resolved at commit time, exactly as the sequential
+       path would. *)
+    let to_run = ref [] in
+    Array.iteri
+      (fun i key ->
+        if
+          (not (Hashtbl.mem ev.cache key)) && not (Hashtbl.mem computed key)
+        then begin
+          Hashtbl.replace computed key oversize_outcome (* claimed; overwritten below *);
+          to_run := (key, candidates.(i)) :: !to_run
+        end)
+      keys;
+    let batch = Array.of_list (List.rev !to_run) in
+    let outcomes = Pool.map pool (fun (_, c) -> compute ev c) batch in
+    Array.iteri
+      (fun j (key, _) -> Hashtbl.replace computed key outcomes.(j))
+      batch
+  end;
+  { ev; candidates; keys; computed }
+
+(* Commit candidate [i]: byte-for-byte the accounting of [eval_module],
+   with the simulation replaced by the speculative result when one was
+   prepared. On a pool of size 1 nothing was prepared, so this IS
+   [eval_module]. Commit order defines the sequential semantics: callers
+   must commit in batch index order and may stop early (un-committed
+   speculative work is discarded, leaving cache and counters exactly as a
+   sequential run would). *)
+let commit (p : prepared) (i : int) : outcome =
+  let ev = p.ev in
+  ev.lookups <- ev.lookups + 1;
+  let key = p.keys.(i) in
+  match Hashtbl.find_opt ev.cache key with
+  | Some o -> o
+  | None ->
+      let outcome =
+        match Hashtbl.find_opt p.computed key with
+        | Some o -> o
+        | None -> compute ev p.candidates.(i)
+      in
+      account ev outcome;
+      Hashtbl.replace ev.cache key outcome;
+      outcome

@@ -1,19 +1,28 @@
 (** Candidate evaluation: materialize a patch, simulate the resulting
     design under the instrumented testbench, and score it against the
-    oracle. Evaluations are memoized on the materialized source; candidate
-    simulations run under budgets scaled to the golden run so runaway
-    mutants are cut off quickly. *)
+    oracle. Evaluations are memoized on a structural digest of the
+    materialized module; candidate simulations run under budgets scaled to
+    the golden run so runaway mutants are cut off quickly.
+
+    Scoring splits into a pure compute step (safe on any domain) and
+    sequential accounting that owns the memo cache and counters. The
+    {!prepare}/{!commit} pair batches the compute step over a {!Pool}
+    while keeping accounting — and therefore probe counts and cache
+    state — identical to the sequential path for every [jobs] setting. *)
 
 type status =
   | Simulated  (** ran to completion (or quiesced) *)
   | Compile_error of string
-      (** elaboration failed or the candidate was rejected outright —
-          the hardware analogue of a mutant that does not compile *)
+      (** elaboration failed — the hardware analogue of a mutant that
+          does not compile *)
   | Sim_diverged of string  (** budget or simulated-time limit reached *)
   | Rejected_static of string
       (** the pre-simulation screener ({!Verilog.Analysis}) proved the
           mutant doomed; scored like a compile error, but no simulation
           budget was spent *)
+  | Rejected_oversize
+      (** runaway insertion growth: rejected outright without parsing or
+          simulating, and counted under its own statistic *)
 
 type outcome = {
   fitness : float;
@@ -31,8 +40,27 @@ type t = {
   mutable compile_errors : int;
   mutable static_rejects : int;
       (** candidates rejected by the static screener without simulation *)
+  mutable oversize_rejects : int;
+      (** candidates rejected for implausible size without simulation *)
 }
 
 val create : Config.t -> Problem.t -> t
 val eval_module : t -> Verilog.Ast.module_decl -> outcome
 val eval_patch : t -> Verilog.Ast.module_decl -> Patch.t -> outcome
+
+(** A batch of candidates whose simulations have (possibly) been run
+    speculatively across a pool, awaiting sequential commitment. *)
+type prepared
+
+(** [prepare ev ~pool candidates] scores the cache-missing candidates of
+    the batch across [pool] without touching [ev]'s cache or counters.
+    With a pool of size 1 this is free: nothing is precomputed and each
+    {!commit} evaluates on demand — the sequential path. *)
+val prepare : t -> pool:Pool.t -> Verilog.Ast.module_decl array -> prepared
+
+(** [commit p i] finalizes candidate [i] with exactly the accounting of
+    {!eval_module} (cache insertion, probe/reject counters), reusing the
+    speculative simulation when one was prepared. Callers must commit in
+    batch index order; stopping early discards the remaining speculative
+    work and leaves [ev] byte-for-byte as a sequential run would. *)
+val commit : prepared -> int -> outcome

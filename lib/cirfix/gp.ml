@@ -1,7 +1,16 @@
 (* The main CirFix loop (paper Algorithm 1): genetic programming over
    repair patches with tournament selection, elitism, repair templates,
    mutation, crossover, per-parent re-localization, and delta-debugging
-   minimization of the winning patch. *)
+   minimization of the winning patch.
+
+   Each generation runs as propose-batch -> evaluate -> select. Proposal
+   (every RNG draw: tournament picks, mutation choices, crossover) and
+   candidate materialization happen sequentially on the main domain, so a
+   fixed seed yields one mutant stream regardless of [cfg.jobs]; the
+   materialized batch is then scored across a domain pool and committed in
+   batch index order ("first plausible repair" = lowest index), which makes
+   the result — patch, probe count, generation stats — independent of the
+   parallelism degree. *)
 
 type candidate = {
   patch : Patch.t;
@@ -23,6 +32,7 @@ type result = {
   probes : int; (* fitness evaluations (simulations) *)
   compile_errors : int; (* mutants that failed elaboration *)
   static_rejects : int; (* mutants screened out before simulation *)
+  oversize_rejects : int; (* mutants rejected for implausible size *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
@@ -67,7 +77,8 @@ let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
       | Evaluate.Simulated | Evaluate.Sim_diverged _ ->
           Fitness.mismatched_signals ~expected:ev.problem.oracle
             ~actual:parent.outcome.trace
-      | Evaluate.Compile_error _ | Evaluate.Rejected_static _ ->
+      | Evaluate.Compile_error _ | Evaluate.Rejected_static _
+      | Evaluate.Rejected_oversize ->
           (* Nothing simulated: blame every recorded output. *)
           (match ev.problem.oracle with
           | [] -> []
@@ -94,12 +105,12 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   let deadline = t0 +. cfg.max_wall_seconds in
   let mutants = ref 0 in
   let gen_stats = ref [] in
-  let eval patch = { patch; outcome = Evaluate.eval_patch ev original patch } in
   let out_of_resources () =
     Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
   in
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
 
-  let initial = eval [] in
+  let initial = { patch = []; outcome = Evaluate.eval_patch ev original [] } in
   let found = ref (if initial.outcome.fitness >= 1.0 then Some initial else None) in
 
   (* seed_popn(C, popnSize): the population starts as copies of the faulty
@@ -110,13 +121,12 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   let gen = ref 0 in
   while !found = None && !gen < cfg.max_generations && not (out_of_resources ()) do
     incr gen;
-    let child_popn = ref [] in
+    (* Propose: all RNG draws and patch materialization, sequentially on
+       the main domain. (The wall-clock guard mirrors the sequential
+       loop's: a generation stops growing when the trial is out of time.) *)
+    let proposals = ref [] in
     let child_count = ref 0 in
-    while
-      !child_count < cfg.pop_size
-      && !found = None
-      && not (out_of_resources ())
-    do
+    while !child_count < cfg.pop_size && not (out_of_resources ()) do
       let parent = tournament rng cfg !popn in
       let m, fl_stmts, fl = localize_parent ev original cfg parent in
       let children =
@@ -137,14 +147,26 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       in
       List.iter
         (fun patch ->
-          if !found = None && not (out_of_resources ()) then (
-            incr mutants;
-            incr child_count;
-            let c = eval patch in
-            if c.outcome.fitness >= 1.0 then found := Some c;
-            child_popn := c :: !child_popn))
+          incr child_count;
+          proposals := patch :: !proposals)
         children
     done;
+    let batch = Array.of_list (List.rev !proposals) in
+    let mods = Array.map (Patch.apply original) batch in
+    (* Evaluate: score the batch across the pool, then select by committing
+       in batch order with the sequential guards. Stopping at the first
+       plausible repair (or on budget exhaustion) discards the remaining
+       speculative work, so counters match a jobs=1 run exactly. *)
+    let prepared = Evaluate.prepare ev ~pool mods in
+    let child_popn = ref [] in
+    Array.iteri
+      (fun i patch ->
+        if !found = None && not (out_of_resources ()) then (
+          incr mutants;
+          let c = { patch; outcome = Evaluate.commit prepared i } in
+          if c.outcome.fitness >= 1.0 then found := Some c;
+          child_popn := c :: !child_popn))
+      batch;
     (* Elitism: carry the top e% of the previous generation forward. *)
     let elite_n =
       max 1 (int_of_float (cfg.elitism *. float_of_int cfg.pop_size))
@@ -186,6 +208,7 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     probes = ev.probes;
     compile_errors = ev.compile_errors;
     static_rejects = ev.static_rejects;
+    oversize_rejects = ev.oversize_rejects;
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;

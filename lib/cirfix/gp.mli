@@ -22,6 +22,8 @@ type result = {
   static_rejects : int;
       (** mutants rejected by the pre-simulation static screener; these
           never touch the simulation budget *)
+  oversize_rejects : int;
+      (** mutants rejected for implausible size without simulation *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)
@@ -29,6 +31,9 @@ type result = {
 
 (** Run one seeded repair trial. Terminates at a plausible repair (fitness
     1.0), or when generations, probes, or wall-clock budget are exhausted.
-    [on_generation] observes progress. *)
+    [on_generation] observes progress. Candidate batches are evaluated
+    across [cfg.jobs] domains; for a fixed seed the result (patch, probes,
+    generation stats) is the same for every [jobs] value, provided the
+    wall-clock budget does not bind. *)
 val repair :
   ?on_generation:(generation_stats -> unit) -> Config.t -> Problem.t -> result

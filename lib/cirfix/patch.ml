@@ -50,6 +50,8 @@ let apply (original : module_decl) (p : t) : module_decl =
     original p
 
 (* Structural key used to cache fitness evaluations: two patches that
-   materialize to the same source are the same candidate. *)
+   materialize to the same program are the same candidate. Hashes the AST
+   directly (node tags and operands, ignoring node ids) rather than
+   pretty-printing the module. *)
 let digest (original : module_decl) (p : t) : string =
-  Digest.string (Verilog.Pp.module_to_string (apply original p))
+  Verilog.Ast_utils.structural_hash (apply original p)

@@ -27,6 +27,7 @@ val apply_edit :
     longer apply. *)
 val apply : Verilog.Ast.module_decl -> t -> Verilog.Ast.module_decl
 
-(** Digest of the materialized source, used to memoize fitness evaluations:
-    distinct patches that produce the same program share one simulation. *)
+(** Structural digest of the materialized module (node ids ignored), used
+    to memoize fitness evaluations: distinct patches that produce the same
+    program share one simulation. *)
 val digest : Verilog.Ast.module_decl -> t -> string

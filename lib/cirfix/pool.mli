@@ -1,0 +1,39 @@
+(** A small fixed-size domain pool for parallel candidate evaluation
+    (OCaml 5 [Domain] + [Mutex]/[Condition] work queue; no dependencies).
+
+    The pool owns [jobs - 1] worker domains; the calling domain joins in
+    draining the queue during {!map}, so [jobs] is the total parallelism
+    degree. A pool with [jobs <= 1] spawns nothing and {!map} degenerates
+    to [Array.map] on the calling domain — the sequential path. *)
+
+type t
+
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains that idle
+    until work arrives. *)
+val create : jobs:int -> t
+
+(** Total parallelism degree (the [jobs] the pool was created with,
+    floored at 1). *)
+val size : t -> int
+
+(** [map pool f xs] is [Array.map f xs] with the applications distributed
+    over the pool. Results keep their input order. If one or more
+    applications raise, the exception of the lowest-raising index is
+    re-raised after the whole batch has drained (the pool stays usable).
+    Tasks must not themselves assume domain affinity; [f] runs on
+    whichever domain claims the task. Nested [map] calls from inside [f]
+    are permitted: the inner caller helps drain the shared queue, so the
+    pool cannot deadlock on its own tasks. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list pool f xs] is {!map} over a list, preserving order. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Signal the workers to exit and join them. The pool must be idle (no
+    concurrent {!map}). Calling {!map} afterwards falls back to the
+    sequential path. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] over a fresh pool and always shuts the
+    pool down, including on exceptions. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

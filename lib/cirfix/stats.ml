@@ -6,6 +6,11 @@ let mean = function
   | [] -> nan
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
+(* Throughput of a repair run: candidate simulations per wall-clock
+   second, the headline metric of the parallel evaluation layer. *)
+let sims_per_sec ~probes ~wall_seconds =
+  if wall_seconds <= 0. then 0. else float_of_int probes /. wall_seconds
+
 let median = function
   | [] -> nan
   | l ->

@@ -6,6 +6,10 @@ val mean : float list -> float
 val median : float list -> float
 val stddev : float list -> float
 
+(** Simulations per wall-clock second (0 when no time elapsed); the
+    throughput statistic reported by the CLI and the bench harness. *)
+val sims_per_sec : probes:int -> wall_seconds:float -> float
+
 (** Ranks (1-based) with ties assigned their average rank. *)
 val ranks : float array -> float array
 

@@ -433,3 +433,310 @@ let classify_stmt (s : stmt) =
   | Block _ -> C_block
   | Delay _ | EventCtrl _ | Wait _ -> C_timing
   | Trigger _ | SysTask _ | Null -> C_other
+
+(* --- Structural hashing ------------------------------------------------- *)
+
+(* A 128-bit structural digest of a module, ignoring node ids: the repair
+   engine memoizes candidate evaluations on the materialized program, and
+   two patches that produce the same program must share one cache entry no
+   matter which ids their fragments carry. Hashing the AST directly avoids
+   pretty-printing the whole module per lookup (the old memo key). The
+   serialization fed to the hash is injective — constructor tags plus
+   length-prefixed lists and strings — so distinct programs collide only if
+   two independent 64-bit FNV-style lanes collide at once. *)
+
+type hash_state = { mutable h1 : int64; mutable h2 : int64 }
+
+(* Word-at-a-time FNV-1a variants; the lanes use different odd multipliers
+   and offsets so they do not collide in tandem. *)
+let feed st n =
+  let w = Int64.of_int n in
+  st.h1 <- Int64.mul (Int64.logxor st.h1 w) 0x100000001b3L;
+  st.h2 <- Int64.mul (Int64.logxor st.h2 w) 0x9E3779B97F4A7C15L
+
+let feed_string st s =
+  feed st (String.length s);
+  String.iter (fun c -> feed st (Char.code c)) s
+
+let feed_opt f st = function
+  | None -> feed st 0
+  | Some x ->
+      feed st 1;
+      f st x
+
+let feed_list f st l =
+  feed st (List.length l);
+  List.iter (f st) l
+
+let feed_bool st b = feed st (if b then 1 else 0)
+
+let feed_vec st v =
+  feed st (Logic4.Vec.width v);
+  for i = 0 to Logic4.Vec.width v - 1 do
+    feed st
+      (match Logic4.Vec.get v i with
+      | Logic4.Bit.V0 -> 0
+      | Logic4.Bit.V1 -> 1
+      | Logic4.Bit.X -> 2
+      | Logic4.Bit.Z -> 3)
+  done
+
+let unop_tag = function
+  | Uplus -> 0
+  | Uminus -> 1
+  | Unot -> 2
+  | Ubnot -> 3
+  | Uand -> 4
+  | Uor -> 5
+  | Uxor -> 6
+  | Unand -> 7
+  | Unor -> 8
+  | Uxnor -> 9
+
+let binop_tag = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Mod -> 4
+  | Land -> 5
+  | Lor -> 6
+  | Band -> 7
+  | Bor -> 8
+  | Bxor -> 9
+  | Bxnor -> 10
+  | Eq -> 11
+  | Neq -> 12
+  | Ceq -> 13
+  | Cneq -> 14
+  | Lt -> 15
+  | Le -> 16
+  | Gt -> 17
+  | Ge -> 18
+  | Shl -> 19
+  | Shr -> 20
+
+let rec feed_expr st (ex : expr) =
+  match ex.e with
+  | Number v ->
+      feed st 1;
+      feed_vec st v
+  | IntLit n ->
+      feed st 2;
+      feed st n
+  | Ident s ->
+      feed st 3;
+      feed_string st s
+  | Index (s, i) ->
+      feed st 4;
+      feed_string st s;
+      feed_expr st i
+  | RangeSel (s, a, b) ->
+      feed st 5;
+      feed_string st s;
+      feed_expr st a;
+      feed_expr st b
+  | Unop (op, a) ->
+      feed st 6;
+      feed st (unop_tag op);
+      feed_expr st a
+  | Binop (op, a, b) ->
+      feed st 7;
+      feed st (binop_tag op);
+      feed_expr st a;
+      feed_expr st b
+  | Cond (c, t, f) ->
+      feed st 8;
+      feed_expr st c;
+      feed_expr st t;
+      feed_expr st f
+  | Concat es ->
+      feed st 9;
+      feed_list feed_expr st es
+  | Repl (n, x) ->
+      feed st 10;
+      feed_expr st n;
+      feed_expr st x
+  | Call (f, args) ->
+      feed st 11;
+      feed_string st f;
+      feed_list feed_expr st args
+  | String s ->
+      feed st 12;
+      feed_string st s
+
+let rec feed_lvalue st = function
+  | LId s ->
+      feed st 1;
+      feed_string st s
+  | LIndex (s, e) ->
+      feed st 2;
+      feed_string st s;
+      feed_expr st e
+  | LRange (s, a, b) ->
+      feed st 3;
+      feed_string st s;
+      feed_expr st a;
+      feed_expr st b
+  | LConcat lvs ->
+      feed st 4;
+      feed_list feed_lvalue st lvs
+
+let feed_event_spec st = function
+  | Posedge e ->
+      feed st 1;
+      feed_expr st e
+  | Negedge e ->
+      feed st 2;
+      feed_expr st e
+  | Level e ->
+      feed st 3;
+      feed_expr st e
+  | AnyChange -> feed st 4
+
+let rec feed_stmt st (s : stmt) =
+  match s.s with
+  | Block (label, body) ->
+      feed st 1;
+      feed_opt feed_string st label;
+      feed_list feed_stmt st body
+  | Blocking (lhs, d, rhs) ->
+      feed st 2;
+      feed_lvalue st lhs;
+      feed_opt feed_expr st d;
+      feed_expr st rhs
+  | Nonblocking (lhs, d, rhs) ->
+      feed st 3;
+      feed_lvalue st lhs;
+      feed_opt feed_expr st d;
+      feed_expr st rhs
+  | If (c, t, e) ->
+      feed st 4;
+      feed_expr st c;
+      feed_opt feed_stmt st t;
+      feed_opt feed_stmt st e
+  | CaseStmt (kind, subject, arms, default) ->
+      feed st 5;
+      feed st (match kind with Case -> 0 | Casez -> 1 | Casex -> 2);
+      feed_expr st subject;
+      feed_list
+        (fun st arm ->
+          feed_list feed_expr st arm.patterns;
+          feed_opt feed_stmt st arm.arm_body)
+        st arms;
+      feed_opt feed_stmt st default
+  | For (init, cond, step, body) ->
+      feed st 6;
+      feed_stmt st init;
+      feed_expr st cond;
+      feed_stmt st step;
+      feed_stmt st body
+  | While (c, body) ->
+      feed st 7;
+      feed_expr st c;
+      feed_stmt st body
+  | Repeat (c, body) ->
+      feed st 8;
+      feed_expr st c;
+      feed_stmt st body
+  | Forever body ->
+      feed st 9;
+      feed_stmt st body
+  | Delay (d, k) ->
+      feed st 10;
+      feed_expr st d;
+      feed_opt feed_stmt st k
+  | EventCtrl (specs, k) ->
+      feed st 11;
+      feed_list feed_event_spec st specs;
+      feed_opt feed_stmt st k
+  | Wait (c, k) ->
+      feed st 12;
+      feed_expr st c;
+      feed_opt feed_stmt st k
+  | Trigger name ->
+      feed st 13;
+      feed_string st name
+  | SysTask (task, args) ->
+      feed st 14;
+      feed_string st task;
+      feed_list feed_expr st args
+  | Null -> feed st 15
+
+let feed_range st (r : range) =
+  feed_expr st r.msb;
+  feed_expr st r.lsb
+
+let feed_item st (item : item) =
+  match item.it with
+  | PortDecl (dir, kind, range, names) ->
+      feed st 1;
+      feed st (match dir with Input -> 0 | Output -> 1 | Inout -> 2);
+      feed_opt (fun st k -> feed st (match k with Wire -> 0 | Reg -> 1 | Integer -> 2)) st kind;
+      feed_opt feed_range st range;
+      feed_list feed_string st names
+  | NetDecl (kind, range, ds) ->
+      feed st 2;
+      feed st (match kind with Wire -> 0 | Reg -> 1 | Integer -> 2);
+      feed_opt feed_range st range;
+      feed_list
+        (fun st d ->
+          feed_string st d.d_name;
+          feed_opt feed_range st d.d_array;
+          feed_opt feed_expr st d.d_init)
+        st ds
+  | ParamDecl (local, pairs) ->
+      feed st 3;
+      feed_bool st local;
+      feed_list
+        (fun st (name, e) ->
+          feed_string st name;
+          feed_expr st e)
+        st pairs
+  | ContAssign assigns ->
+      feed st 4;
+      feed_list
+        (fun st (lhs, rhs) ->
+          feed_lvalue st lhs;
+          feed_expr st rhs)
+        st assigns
+  | Always s ->
+      feed st 5;
+      feed_stmt st s
+  | Initial s ->
+      feed st 6;
+      feed_stmt st s
+  | Instance { mod_name; inst_name; params; conns } ->
+      feed st 7;
+      feed_string st mod_name;
+      feed_string st inst_name;
+      feed_list
+        (fun st (name, e) ->
+          feed_opt feed_string st name;
+          feed_expr st e)
+        st params;
+      feed_list
+        (fun st conn ->
+          match conn with
+          | Named (port, e) ->
+              feed st 1;
+              feed_string st port;
+              feed_opt feed_expr st e
+          | Positional e ->
+              feed st 2;
+              feed_expr st e)
+        st conns
+  | EventDecl names ->
+      feed st 8;
+      feed_list feed_string st names
+  | DefineStub s ->
+      feed st 9;
+      feed_string st s
+
+(* FNV offset bases for the two lanes. *)
+let structural_hash (m : module_decl) : string =
+  let st = { h1 = 0xcbf29ce484222325L; h2 = 0x2545f4914f6cdd1dL } in
+  feed_string st m.mod_id;
+  feed_list feed_string st m.mod_ports;
+  feed_list feed_item st m.items;
+  Printf.sprintf "%016Lx%016Lx" st.h1 st.h2

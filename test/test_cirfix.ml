@@ -503,8 +503,14 @@ let test_oversized_candidate_rejected () =
   let o = Cirfix.Evaluate.eval_module ev big in
   Alcotest.(check bool) "rejected" true
     (match o.status with
-    | Cirfix.Evaluate.Compile_error "candidate too large" -> true
-    | _ -> false)
+    | Cirfix.Evaluate.Rejected_oversize -> true
+    | _ -> false);
+  Alcotest.(check int) "counted once" 1 ev.oversize_rejects;
+  Alcotest.(check int) "not a compile error" 0 ev.compile_errors;
+  (* Repeat lookups hit the memo cache instead of re-counting. *)
+  ignore (Cirfix.Evaluate.eval_module ev big);
+  Alcotest.(check int) "memoized" 1 ev.oversize_rejects;
+  Alcotest.(check int) "no simulation spent" 0 ev.probes
 
 let test_gp_budget_exhaustion_graceful () =
   (* A 1-probe budget must terminate immediately without a repair. *)
