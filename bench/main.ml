@@ -565,6 +565,51 @@ let repair_perf () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Race audit: static + dynamic race analysis over the suite            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every project under both testbenches: static findings, dynamic races,
+   and the wall-clock cost of running with the access log on (the number
+   that justifies check_races defaulting off). *)
+let race_audit () =
+  section "Race audit: static analyzer + dynamic checker over the suite";
+  Printf.printf "%-22s %-4s %7s %8s %9s\n" "project" "tb" "static" "dynamic"
+    "overhead";
+  let worst = ref 0.0 in
+  List.iter
+    (fun (p : Bench_suite.Projects.t) ->
+      let spec = Bench_suite.Projects.spec p in
+      List.iter
+        (fun (label, tb) ->
+          let source = Bench_suite.Projects.design_source p ^ "\n" ^ tb in
+          let design =
+            Result.get_ok (Verilog.Parser.parse_design_result source)
+          in
+          let static_fs = Verilog.Race.check_design ~top:p.tb_module design in
+          let time f =
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            (r, Unix.gettimeofday () -. t0)
+          in
+          let _, t_plain = time (fun () -> Sim.Simulate.run design spec) in
+          let checked, t_checked =
+            time (fun () -> Sim.Simulate.run ~check_races:true design spec)
+          in
+          let races =
+            match checked with Ok r -> List.length r.races | Error _ -> -1
+          in
+          let overhead = if t_plain > 0. then t_checked /. t_plain else 0. in
+          worst := Float.max !worst overhead;
+          Printf.printf "%-22s %-4s %7d %8d %8.2fx\n" p.name label
+            (List.length static_fs) races overhead)
+        [
+          ("tb", Bench_suite.Projects.tb_source p);
+          ("tb2", Bench_suite.Projects.tb2_source p);
+        ])
+    Bench_suite.Projects.all;
+  Printf.printf "\nworst-case dynamic-checker overhead: %.2fx\n" !worst
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -644,6 +689,7 @@ let artifacts =
     ("ablation-phi", ablation_phi);
     ("ablation-params", ablation_params);
     ("repair-perf", repair_perf);
+    ("race-audit", race_audit);
     ("perf", perf);
   ]
 

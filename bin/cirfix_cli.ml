@@ -202,7 +202,7 @@ let jobs_arg =
            identical for any value when the wall-clock bound does not bind.")
 
 let repair design golden testbench target top clock dut seed pop_size
-    generations max_probes wall jobs output =
+    generations max_probes wall jobs race_screen race_check output =
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
   and tb = or_die (read_file testbench) in
@@ -219,6 +219,8 @@ let repair design golden testbench target top clock dut seed pop_size
       max_probes;
       max_wall_seconds = wall;
       jobs;
+      screen_races = race_screen;
+      check_races = race_check;
     }
   in
   let on_generation (g : Cirfix.Gp.generation_stats) =
@@ -229,12 +231,42 @@ let repair design golden testbench target top clock dut seed pop_size
   Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
   Printf.printf
     "probes: %d, mutants: %d, compile errors: %d, static rejects: %d, \
-     oversize rejects: %d, wall: %.1fs\n"
+     oversize rejects: %d, racy rejects: %d, wall: %.1fs\n"
     r.probes r.mutants_generated r.compile_errors r.static_rejects
-    r.oversize_rejects r.wall_seconds;
+    r.oversize_rejects r.racy_rejects r.wall_seconds;
+  if race_check then
+    Printf.printf "runtime races: %d (%.2f per 1000 sims)\n" r.runtime_races
+      (Cirfix.Stats.races_per_ksim ~races:r.runtime_races ~probes:r.probes);
   Printf.printf "throughput: %.1f sims/sec (jobs=%d)\n"
     (Cirfix.Stats.sims_per_sec ~probes:r.probes ~wall_seconds:r.wall_seconds)
     cfg.jobs;
+  (* Replay the final design (repaired when found, else the faulty
+     original) under the repair testbench with coverage enabled, so the
+     summary reports how much of the target the oracle actually
+     exercises. *)
+  (let final =
+     match r.repaired_module with
+     | Some m -> m
+     | None -> Cirfix.Problem.target_module problem
+   in
+   let final_design = Cirfix.Problem.with_candidate problem final in
+   try
+     let elab = Sim.Elaborate.elaborate final_design ~top:problem.spec.top in
+     Sim.Runtime.enable_coverage elab.st;
+     ignore (Sim.Engine.run elab);
+     let reports = Sim.Coverage.report elab.st final_design in
+     match
+       List.find_opt
+         (fun (cr : Sim.Coverage.module_report) -> cr.mr_module = target)
+         reports
+     with
+     | Some cr ->
+         Printf.printf "target statement coverage: %.1f%% (%d/%d statements)\n"
+           (Cirfix.Stats.coverage_percent ~covered:cr.mr_covered
+              ~total:cr.mr_total)
+           cr.mr_covered cr.mr_total
+     | None -> ()
+   with Sim.Runtime.Elab_error _ -> ());
   match (r.minimized, r.repaired_module) with
   | Some patch, Some m ->
       Printf.printf "REPAIRED (minimized to %d edits):\n  %s\n"
@@ -265,6 +297,19 @@ let repair_cmd =
       $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
       $ Arg.(value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
       $ jobs_arg
+      $ Arg.(
+          value & flag
+          & info [ "race-screen" ]
+              ~doc:
+                "Reject candidates containing a static race hazard (see the\n\
+                 $(b,race) subcommand) before simulating them; rejections\n\
+                 are reported as racy rejects.")
+      $ Arg.(
+          value & flag
+          & info [ "race-check" ]
+              ~doc:
+                "Run candidate simulations with the dynamic race checker\n\
+                 enabled and report the total races observed.")
       $ Arg.(
           value
           & opt (some string) None
@@ -366,9 +411,64 @@ let analyze_cmd =
   let doc = "Alias of $(b,lint): run all static analyses over Verilog sources." in
   Cmd.v (Cmd.info "analyze" ~doc) lint_args
 
+(* --- race ------------------------------------------------------------------------ *)
+
+let race top files =
+  let design =
+    List.concat_map
+      (fun path ->
+        let src = or_die (read_file path) in
+        match Verilog.Parser.parse_design_result src with
+        | Error e ->
+            Printf.eprintf "%s: parse error: %s\n" path e;
+            exit 1
+        | Ok d -> d)
+      files
+  in
+  let tops =
+    match top with Some t -> [ t ] | None -> Verilog.Race.roots design
+  in
+  let total_errors = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (f : Verilog.Lint.finding) ->
+          incr total;
+          if f.severity = Verilog.Lint.Error then incr total_errors;
+          Format.printf "%a@." Verilog.Lint.pp_finding f)
+        (Verilog.Race.check_design ~top:t design))
+    tops;
+  Printf.printf "race: %d finding(s) across %d root(s)\n" !total
+    (List.length tops);
+  if !total_errors > 0 then exit 1
+
+let race_cmd =
+  let doc =
+    "Run the elaboration-aware race analyzer over Verilog sources: flatten\n\
+     the hierarchy under each top module (every never-instantiated module\n\
+     unless $(b,--top) is given) and report scheduling hazards — write-write\n\
+     races, blocking read-write races within a clock domain, mixed\n\
+     blocking/non-blocking writes, and stale reads from incomplete\n\
+     sensitivity lists. Exits non-zero if any $(b,error)-severity finding\n\
+     fires."
+  in
+  Cmd.v (Cmd.info "race" ~doc)
+    Term.(
+      const race
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "top" ] ~docv:"MODULE"
+              ~doc:"Only analyze the hierarchy rooted at MODULE.")
+      $ Arg.(
+          non_empty & pos_all file []
+          & info [] ~docv:"FILE"
+              ~doc:"Verilog files, parsed together as one design."))
+
 (* --- scenarios ------------------------------------------------------------------ *)
 
-let scenarios id dump run_it trials jobs =
+let scenarios id dump run_it trials jobs race_screen race_check =
   let selected =
     match id with
     | Some n -> [ Bench_suite.Defects.find n ]
@@ -383,21 +483,29 @@ let scenarios id dump run_it trials jobs =
         print_endline "--- faulty source ---";
         print_endline (Bench_suite.Defects.inject d));
       if run_it then (
-        let cfg = Bench_suite.Runner.scenario_config d in
+        let cfg =
+          {
+            (Bench_suite.Runner.scenario_config d) with
+            screen_races = race_screen;
+            check_races = race_check;
+          }
+        in
         let s = Bench_suite.Runner.run_defect ~cfg ~trials ~pool d in
         Printf.printf
           "  result: %s (%.1fs, %d probes, %.1f sims/sec, %d static rejects, \
-           %d oversize rejects)\n"
+           %d oversize rejects, %d racy rejects)\n"
           (if s.correct then "correct repair"
            else if s.repaired then "plausible repair"
            else "no repair")
           s.total_seconds s.probes
           (Cirfix.Stats.sims_per_sec ~probes:s.probes
              ~wall_seconds:s.total_seconds)
-          s.static_rejects s.oversize_rejects;
-        match s.patch with
+          s.static_rejects s.oversize_rejects s.racy_rejects;
+        if race_check then
+          Printf.printf "  runtime races: %d\n" s.runtime_races;
+        (match s.patch with
         | Some p -> Printf.printf "  patch: %s\n" (Cirfix.Patch.to_string p)
-        | None -> ()))
+        | None -> ())))
     selected
 
 let scenarios_cmd =
@@ -413,7 +521,15 @@ let scenarios_cmd =
       $ Arg.(value & flag & info [ "dump-faulty" ] ~doc:"Print the faulty source.")
       $ Arg.(value & flag & info [ "run" ] ~doc:"Run CirFix on the scenario(s).")
       $ Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Trials per scenario.")
-      $ jobs_arg)
+      $ jobs_arg
+      $ Arg.(
+          value & flag
+          & info [ "race-screen" ]
+              ~doc:"Reject statically racy candidates before simulation.")
+      $ Arg.(
+          value & flag
+          & info [ "race-check" ]
+              ~doc:"Enable the dynamic race checker during candidate runs."))
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -431,5 +547,6 @@ let () =
             scenarios_cmd;
             lint_cmd;
             analyze_cmd;
+            race_cmd;
             coverage_cmd;
           ]))

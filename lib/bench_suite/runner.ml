@@ -17,6 +17,8 @@ type trial_summary = {
   probes : int; (* fitness evaluations across all trials *)
   static_rejects : int; (* mutants screened out statically, across all trials *)
   oversize_rejects : int; (* mutants rejected for size, across all trials *)
+  racy_rejects : int; (* mutants rejected by the race screen, across all trials *)
+  runtime_races : int; (* dynamic races observed, across all trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -30,8 +32,8 @@ type trial_summary = {
    first plausible repair as the sequential driver does. *)
 let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
     : trial_summary =
-  let rec go seed ~total_probes ~total_statics ~total_oversize ~total_seconds
-      ~initial_fitness = function
+  let rec go seed ~total_probes ~total_statics ~total_oversize ~total_racy
+      ~total_races ~total_seconds ~initial_fitness = function
     | [] ->
         {
           defect = d;
@@ -42,6 +44,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
           probes = total_probes;
           static_rejects = total_statics;
           oversize_rejects = total_oversize;
+          racy_rejects = total_racy;
+          runtime_races = total_races;
           edits = 0;
           trials_run = trials;
           winning_seed = None;
@@ -54,6 +58,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
         let total_probes = total_probes + r.probes in
         let total_statics = total_statics + r.static_rejects in
         let total_oversize = total_oversize + r.oversize_rejects in
+        let total_racy = total_racy + r.racy_rejects in
+        let total_races = total_races + r.runtime_races in
         let total_seconds = total_seconds +. r.wall_seconds in
         match (r.minimized, r.repaired_module) with
         | Some patch, Some m ->
@@ -66,6 +72,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
               probes = total_probes;
               static_rejects = total_statics;
               oversize_rejects = total_oversize;
+              racy_rejects = total_racy;
+              runtime_races = total_races;
               edits = List.length patch;
               trials_run = seed;
               winning_seed = Some seed;
@@ -76,10 +84,11 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
             }
         | _ ->
             go (seed + 1) ~total_probes ~total_statics ~total_oversize
-              ~total_seconds ~initial_fitness:r.initial_fitness rest)
+              ~total_racy ~total_races ~total_seconds
+              ~initial_fitness:r.initial_fitness rest)
   in
-  go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_seconds:0.
-    ~initial_fitness:0. results
+  go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_racy:0
+    ~total_races:0 ~total_seconds:0. ~initial_fitness:0. results
 
 (* [pool]: when given (and wider than one domain), all [trials] seeds run
    speculatively in parallel — each trial forced to jobs=1 so the pool is

@@ -10,6 +10,7 @@ type result = {
   probes : int;
   static_rejects : int; (* candidates screened out before simulation *)
   oversize_rejects : int; (* candidates rejected for implausible size *)
+  racy_rejects : int; (* candidates rejected by the static race screen *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -115,6 +116,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     probes = ev.probes;
     static_rejects = ev.static_rejects;
     oversize_rejects = ev.oversize_rejects;
+    racy_rejects = ev.racy_rejects;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
   }

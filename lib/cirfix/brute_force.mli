@@ -9,6 +9,8 @@ type result = {
       (** candidates screened out statically, without simulation *)
   oversize_rejects : int;
       (** candidates rejected for implausible size without simulation *)
+  racy_rejects : int;
+      (** candidates rejected by the static race screen without simulation *)
   wall_seconds : float;
   candidates_tried : int;
 }

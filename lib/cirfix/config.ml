@@ -33,6 +33,14 @@ type t = {
   screen_checks : Verilog.Analysis.check list;
       (* which analyses the screener runs; keep this to cheap checks whose
          findings imply a wasted simulation *)
+  screen_races : bool;
+      (* pre-simulation race screening: candidate modules containing a race
+         hazard (Verilog.Race) are rejected without being simulated, under
+         their own statistic (Rejected_racy) *)
+  check_races : bool;
+      (* runtime race checking: candidate simulations run with the dynamic
+         same-timestep access checker enabled (Sim.Runtime); observed races
+         are totalled across the trial *)
 }
 
 (* One evaluation domain per recommended core, minus one for the main
@@ -64,6 +72,11 @@ let default =
     use_fault_loc = true;
     screen_mutants = true;
     screen_checks = [ Verilog.Analysis.Comb_loop ];
+    (* Race detection is opt-in: screening narrows the search space beyond
+       what the paper's loop does, and runtime checking costs per-access
+       bookkeeping, so both default off. *)
+    screen_races = false;
+    check_races = false;
   }
 
 (* The paper's full-scale configuration, for completeness. *)

@@ -23,11 +23,18 @@ type status =
   | Rejected_oversize
     (* runaway insertion growth: rejected outright, like a mutant that
        does not compile, without parsing or simulating it *)
+  | Rejected_racy of string
+    (* the static race analyzer (Verilog.Race) found a hazard in the
+       candidate module: rejected like a static screen hit, without
+       spending a simulation *)
 
 type outcome = {
   fitness : float;
   trace : Sim.Recorder.trace;
   status : status;
+  races : int;
+      (* dynamic races observed during this candidate's simulation; 0
+         unless [cfg.check_races] and the candidate was simulated *)
 }
 
 type t = {
@@ -40,6 +47,8 @@ type t = {
   mutable compile_errors : int; (* non-memoized compile failures *)
   mutable static_rejects : int; (* non-memoized screener rejections *)
   mutable oversize_rejects : int; (* non-memoized too-large rejections *)
+  mutable racy_rejects : int; (* non-memoized race-screen rejections *)
+  mutable runtime_races : int; (* dynamic races across non-memoized sims *)
 }
 
 let create (cfg : Config.t) (problem : Problem.t) : t =
@@ -54,6 +63,8 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     compile_errors = 0;
     static_rejects = 0;
     oversize_rejects = 0;
+    racy_rejects = 0;
+    runtime_races = 0;
   }
 
 (* Bloated candidates (runaway insertion growth) are rejected outright,
@@ -64,7 +75,8 @@ let oversize (ev : t) (candidate : Verilog.Ast.module_decl) : bool =
 let key_of (candidate : Verilog.Ast.module_decl) : string =
   Verilog.Ast_utils.structural_hash candidate
 
-let oversize_outcome = { fitness = 0.; trace = []; status = Rejected_oversize }
+let oversize_outcome =
+  { fitness = 0.; trace = []; status = Rejected_oversize; races = 0 }
 
 (* Score one candidate without touching the cache or any counter. Reads
    only immutable state ([cfg], [problem], [original_size]), so concurrent
@@ -77,12 +89,23 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
         Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate
       else None
     in
+    let racy () =
+      if ev.cfg.screen_races then
+        Verilog.Race.screen ~hazards:Verilog.Race.all_hazards candidate
+      else None
+    in
     match screened with
     | Some msg ->
         (* Pre-simulation screening: the candidate is statically doomed,
            so reject it (scored like a compile error) without spending a
            simulation. *)
-        { fitness = 0.; trace = []; status = Rejected_static msg }
+        { fitness = 0.; trace = []; status = Rejected_static msg; races = 0 }
+    | None ->
+    match racy () with
+    | Some msg ->
+        (* Race screening: the candidate module contains a static race
+           hazard; rejected without a simulation, under its own count. *)
+        { fitness = 0.; trace = []; status = Rejected_racy msg; races = 0 }
     | None ->
         let design = Problem.with_candidate ev.problem candidate in
         (* Candidates get a budget proportional to the golden run: a mutant
@@ -94,10 +117,14 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
         let max_time =
           min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
         in
-        (match Sim.Simulate.run ~max_steps ~max_time design ev.problem.spec with
+        (match
+           Sim.Simulate.run ~max_steps ~max_time
+             ~check_races:ev.cfg.check_races design ev.problem.spec
+         with
         | Error (Sim.Simulate.Elab_failure msg) ->
-            { fitness = 0.; trace = []; status = Compile_error msg }
+            { fitness = 0.; trace = []; status = Compile_error msg; races = 0 }
         | Ok r -> (
+            let races = List.length r.races in
             match r.outcome with
             | Sim.Engine.Finished | Sim.Engine.Quiescent ->
                 {
@@ -106,6 +133,7 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
                       ~expected:ev.problem.oracle ~actual:r.trace;
                   trace = r.trace;
                   status = Simulated;
+                  races;
                 }
             | Sim.Engine.Time_limit_reached ->
                 (* Score whatever trace was produced; a looping mutant is
@@ -116,16 +144,19 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
                       ~expected:ev.problem.oracle ~actual:r.trace;
                   trace = r.trace;
                   status = Sim_diverged "time limit";
+                  races;
                 }
             | Sim.Engine.Budget_exceeded m ->
-                { fitness = 0.; trace = []; status = Sim_diverged m }))
+                { fitness = 0.; trace = []; status = Sim_diverged m; races }))
   end
 
 (* Counter accounting for a freshly computed (non-memoized) outcome,
    mirroring what the sequential path charges per status. *)
 let account (ev : t) (o : outcome) =
+  ev.runtime_races <- ev.runtime_races + o.races;
   match o.status with
   | Rejected_static _ -> ev.static_rejects <- ev.static_rejects + 1
+  | Rejected_racy _ -> ev.racy_rejects <- ev.racy_rejects + 1
   | Rejected_oversize -> ev.oversize_rejects <- ev.oversize_rejects + 1
   | Compile_error _ ->
       ev.probes <- ev.probes + 1;

@@ -23,11 +23,18 @@ type status =
   | Rejected_oversize
       (** runaway insertion growth: rejected outright without parsing or
           simulating, and counted under its own statistic *)
+  | Rejected_racy of string
+      (** the static race analyzer ({!Verilog.Race}) found a hazard in the
+          candidate module; rejected without simulation when
+          [cfg.screen_races] is set *)
 
 type outcome = {
   fitness : float;
   trace : Sim.Recorder.trace;
   status : status;
+  races : int;
+      (** dynamic races observed during the candidate's simulation; 0
+          unless [cfg.check_races] and the candidate was simulated *)
 }
 
 type t = {
@@ -42,6 +49,10 @@ type t = {
       (** candidates rejected by the static screener without simulation *)
   mutable oversize_rejects : int;
       (** candidates rejected for implausible size without simulation *)
+  mutable racy_rejects : int;
+      (** candidates rejected by the static race screen without simulation *)
+  mutable runtime_races : int;
+      (** dynamic races observed across all non-memoized simulations *)
 }
 
 val create : Config.t -> Problem.t -> t

@@ -33,6 +33,8 @@ type result = {
   compile_errors : int; (* mutants that failed elaboration *)
   static_rejects : int; (* mutants screened out before simulation *)
   oversize_rejects : int; (* mutants rejected for implausible size *)
+  racy_rejects : int; (* mutants rejected by the static race screen *)
+  runtime_races : int; (* dynamic races observed across all simulations *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
@@ -78,7 +80,7 @@ let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
           Fitness.mismatched_signals ~expected:ev.problem.oracle
             ~actual:parent.outcome.trace
       | Evaluate.Compile_error _ | Evaluate.Rejected_static _
-      | Evaluate.Rejected_oversize ->
+      | Evaluate.Rejected_oversize | Evaluate.Rejected_racy _ ->
           (* Nothing simulated: blame every recorded output. *)
           (match ev.problem.oracle with
           | [] -> []
@@ -209,6 +211,8 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     compile_errors = ev.compile_errors;
     static_rejects = ev.static_rejects;
     oversize_rejects = ev.oversize_rejects;
+    racy_rejects = ev.racy_rejects;
+    runtime_races = ev.runtime_races;
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;

@@ -24,6 +24,12 @@ type result = {
           never touch the simulation budget *)
   oversize_rejects : int;
       (** mutants rejected for implausible size without simulation *)
+  racy_rejects : int;
+      (** mutants rejected by the static race screen ([cfg.screen_races])
+          without simulation *)
+  runtime_races : int;
+      (** dynamic races observed across all candidate simulations
+          ([cfg.check_races]) *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)

@@ -11,6 +11,16 @@ let mean = function
 let sims_per_sec ~probes ~wall_seconds =
   if wall_seconds <= 0. then 0. else float_of_int probes /. wall_seconds
 
+(* Statement coverage of a simulation as a percentage (0 when the design
+   has no statements, e.g. a pure-structural netlist). *)
+let coverage_percent ~covered ~total =
+  if total <= 0 then 0. else 100. *. float_of_int covered /. float_of_int total
+
+(* Dynamic race density: races flagged by the runtime checker per thousand
+   candidate simulations (0 when nothing was simulated). *)
+let races_per_ksim ~races ~probes =
+  if probes <= 0 then 0. else 1000. *. float_of_int races /. float_of_int probes
+
 let median = function
   | [] -> nan
   | l ->

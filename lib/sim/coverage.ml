@@ -54,6 +54,11 @@ let report (st : Runtime.state) (design : Verilog.Ast.design) :
       })
     design
 
+(* Aggregate covered/total statement counts across reports, for one-line
+   summaries (CLI, bench harness). *)
+let totals (rs : module_report list) : int * int =
+  List.fold_left (fun (c, t) r -> (c + r.mr_covered, t + r.mr_total)) (0, 0) rs
+
 let pp fmt (r : module_report) =
   Format.fprintf fmt "%s: %d/%d statements covered (%.0f%%)@." r.mr_module
     r.mr_covered r.mr_total (100. *. ratio r);

@@ -1,0 +1,34 @@
+(** Statement coverage: which statements of a design the testbench
+    actually exercised. A thin report layer over the interpreter's
+    per-node execution counts ({!Runtime.enable_coverage}), useful for
+    judging testbench — and therefore oracle — quality. *)
+
+type stmt_report = {
+  sr_sid : int;  (** statement node id *)
+  sr_count : int;  (** executions; 0 = never reached *)
+  sr_text : string;  (** single-line pretty-printed statement *)
+}
+
+type module_report = {
+  mr_module : string;
+  mr_covered : int;
+  mr_total : int;
+  mr_stmts : stmt_report list;  (** document order *)
+}
+
+(** Covered fraction of a module report; 1.0 for a module with no
+    statements (pure-structural netlists count as fully covered). *)
+val ratio : module_report -> float
+
+(** Per-module reports from a finished simulation. Hierarchical instances
+    share the module's node ids, so counts aggregate across instances.
+    All counts are 0 when coverage was never enabled on the state. *)
+val report : Runtime.state -> Verilog.Ast.design -> module_report list
+
+(** Aggregate (covered, total) statement counts across reports, for
+    one-line summaries. *)
+val totals : module_report list -> int * int
+
+(** Render a module report: the summary line plus one line per
+    never-executed statement. *)
+val pp : Format.formatter -> module_report -> unit

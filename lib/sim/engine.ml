@@ -290,7 +290,7 @@ and exec_systask st sc task args =
 
 (* --- Process spawning and the run loop ----------------------------------- *)
 
-let park (st : Runtime.state) (w : wait) (resume : unit -> unit) =
+let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
   let resumed = ref false in
   let resume () =
     if !resumed then (
@@ -307,8 +307,14 @@ let park (st : Runtime.state) (w : wait) (resume : unit -> unit) =
       resumed := true;
       resume ())
   in
+  (* Each fiber segment runs attributed to its process; for edge/event
+     waits the activation cause is stamped by the waker (set_var /
+     trigger_event), for delays it is known here. *)
+  let resume () = Runtime.with_proc st pid resume in
   match w with
-  | WDelay n -> Runtime.schedule_at st ~time:(st.now + n) resume
+  | WDelay n ->
+      Runtime.schedule_at st ~time:(st.now + n) (fun () ->
+          Runtime.with_cause st Runtime.Cause_delay resume)
   | WEvent v -> Runtime.add_waiter v Runtime.Any resume
   | WEdges edges ->
       (* The whole group shares one fired flag: a single wake-up per
@@ -322,7 +328,9 @@ let park (st : Runtime.state) (w : wait) (resume : unit -> unit) =
             Runtime.add_waiter ~fired v edge resume))
         edges
 
-let spawn (st : Runtime.state) (body : unit -> unit) =
+(* [pid]: race-checker identity. Always processes get distinct ids;
+   initial blocks pass the default -1 and stay untracked. *)
+let spawn ?(pid = -1) (st : Runtime.state) (body : unit -> unit) =
   let fiber () =
     match_with body ()
       {
@@ -334,11 +342,13 @@ let spawn (st : Runtime.state) (body : unit -> unit) =
             | Suspend w ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    park st w (fun () -> continue k ()))
+                    park st ~pid w (fun () -> continue k ()))
             | _ -> None);
       }
   in
-  Runtime.schedule_active st fiber
+  Runtime.schedule_active st (fun () ->
+      Runtime.with_cause st Runtime.Cause_start (fun () ->
+          Runtime.with_proc st pid fiber))
 
 type outcome =
   | Finished (* $finish reached *)
@@ -355,12 +365,15 @@ let launch (elab : Elaborate.elaborated) =
       List.iter (fun v -> Runtime.subscribe v cb.cb_eval) cb.cb_support;
       Runtime.schedule_active st cb.cb_eval)
     elab.combs;
+  let next_pid = ref 0 in
   List.iter
     (fun (p : Elaborate.process) ->
       match p.pr_kind with
       | Elaborate.PInitial -> spawn st (fun () -> exec st p.pr_scope p.pr_body)
       | Elaborate.PAlways ->
-          spawn st (fun () ->
+          let pid = !next_pid in
+          incr next_pid;
+          spawn ~pid st (fun () ->
               let rec loop () =
                 exec st p.pr_scope p.pr_body;
                 loop ()

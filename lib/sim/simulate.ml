@@ -13,17 +13,22 @@ type result = {
   display : string;
   end_time : int;
   steps : int;
+  races : Runtime.race_event list;
+      (* dynamic race-checker findings; empty unless [check_races] *)
 }
 
 type error = Elab_failure of string
 
 (* Simulate [design] under [spec]. Elaboration failures (the simulator
-   analogue of a mutant that does not compile) are reported as [Error]. *)
-let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000) (design : Verilog.Ast.design)
-    (spec : spec) : (result, error) Stdlib.result =
+   analogue of a mutant that does not compile) are reported as [Error].
+   [check_races] enables the runtime race checker (see {!Runtime}). *)
+let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
+    ?(check_races = false) (design : Verilog.Ast.design) (spec : spec) :
+    (result, error) Stdlib.result =
   match
     (try
        let elab = Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top in
+       if check_races then Runtime.enable_race_check elab.st;
        let recorder =
          Recorder.attach elab.st ~clock:spec.clock ~instance_path:spec.dut_path
        in
@@ -44,11 +49,12 @@ let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000) (design : Verilog.Ast.d
               display = Buffer.contents elab.st.display_log;
               end_time = elab.st.now;
               steps = elab.st.steps;
+              races = Runtime.race_events elab.st;
             })
 
 (* Convenience: parse sources then simulate. *)
-let run_source ?max_steps ?max_time ~(source : string) (spec : spec) :
-    (result, error) Stdlib.result =
+let run_source ?max_steps ?max_time ?check_races ~(source : string)
+    (spec : spec) : (result, error) Stdlib.result =
   match Verilog.Parser.parse_design_result source with
   | Error msg -> Error (Elab_failure msg)
-  | Ok design -> run ?max_steps ?max_time design spec
+  | Ok design -> run ?max_steps ?max_time ?check_races design spec

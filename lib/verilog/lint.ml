@@ -77,6 +77,34 @@ let has_timing (s : stmt) =
     (fun acc _ -> acc)
     false s
 
+(* A case statement with no default still covers every path when its arms
+   enumerate the full value space of a w-bit selector: all patterns are
+   two-valued constants of one width w and their distinct values number
+   2^w. Wildcard (x/z) patterns, mixed widths, and wide selectors fall
+   back to requiring a default. *)
+let full_case (arms : case_arm list) : bool =
+  let pats = List.concat_map (fun a -> a.patterns) arms in
+  match pats with
+  | [] -> false
+  | { e = Number v; _ } :: _ -> (
+      let w = Logic4.Vec.width v in
+      if w > 16 then false
+      else
+        let values =
+          List.fold_left
+            (fun acc (p : expr) ->
+              match (acc, p.e) with
+              | Some acc, Number v
+                when Logic4.Vec.width v = w ->
+                  Option.map (fun n -> n :: acc) (Logic4.Vec.to_int v)
+              | _ -> None)
+            (Some []) pats
+        in
+        match values with
+        | None -> false
+        | Some vs -> List.length (List.sort_uniq compare vs) = 1 lsl w)
+  | _ -> false
+
 (* Branch completeness: does every path through [s] assign [name]? *)
 let rec always_assigns name (s : stmt) : bool =
   match s.s with
@@ -86,8 +114,10 @@ let rec always_assigns name (s : stmt) : bool =
   | If (_, t, e) ->
       (match t with Some t -> always_assigns name t | None -> false)
       && (match e with Some e -> always_assigns name e | None -> false)
-  | CaseStmt (_, _, arms, default) ->
-      (match default with Some d -> always_assigns name d | None -> false)
+  | CaseStmt (kind, _, arms, default) ->
+      (match default with
+      | Some d -> always_assigns name d
+      | None -> kind = Case && full_case arms)
       && List.for_all
            (fun arm ->
              match arm.arm_body with

@@ -1,0 +1,534 @@
+(* Elaboration-aware scheduling-hazard (race) analysis.
+
+   The per-module driver graph in {!Analysis} reasons about one module at a
+   time; races, however, live in the *elaborated* design: a testbench
+   process and a DUT process clocked by the same edge race through a port
+   connection just as two sibling always blocks do. This pass flattens the
+   hierarchy the same way [Sim.Elaborate] binds ports — a whole-net
+   identifier connection makes the child port an alias of the parent net,
+   anything else becomes a dependence edge — and then checks four hazard
+   classes over processes grouped by event region:
+
+   (a) write-write: one signal procedurally written by two always
+       processes that can run in the same event region (Error);
+   (b) blocking read-write: a signal blocking-assigned in one clocked
+       process and read by another process under the same clock edge, so
+       the reader sees old or new data depending on scheduler order
+       (Warning);
+   (c) mixed blocking/non-blocking writes to one register (Warning);
+   (d) stale-read: a combinational process reads a signal that can change
+       at runtime but is missing from its sensitivity list, so the block
+       holds a stale value until some other trigger fires (Warning).
+
+   Initial blocks are exempt everywhere: testbench stimulus conventionally
+   initializes from initial blocks at times no always process contends
+   for, and flagging it would drown real races in noise. *)
+
+open Ast
+module Names = Set.Make (String)
+module SMap = Map.Make (String)
+
+type hazard = Write_write | Blocking_rw | Mixed_assign | Stale_read
+
+let all_hazards = [ Write_write; Blocking_rw; Mixed_assign; Stale_read ]
+
+(* --- Union-find over elaborated (hierarchical) signal names ------------- *)
+
+(* Whole-net port connections are aliases: writing the child port IS
+   writing the parent net. The representative is the outermost (shortest)
+   path so findings read naturally. *)
+type uf = (string, string) Hashtbl.t
+
+let rec uf_find (uf : uf) x =
+  match Hashtbl.find_opt uf x with
+  | None -> x
+  | Some p ->
+      let r = uf_find uf p in
+      if r <> p then Hashtbl.replace uf x r;
+      r
+
+let uf_union (uf : uf) a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra <> rb then
+    let keep, drop =
+      if
+        String.length ra < String.length rb
+        || (String.length ra = String.length rb && ra <= rb)
+      then (ra, rb)
+      else (rb, ra)
+    in
+    Hashtbl.replace uf drop keep
+
+(* --- Per-process summaries over the flattened design -------------------- *)
+
+type trigger = Tedge of string * bool (* signal, posedge? *)
+
+(* Which event region(s) a process can execute in. *)
+type region =
+  | Rcomb (* level/star sensitive: runs whenever an input settles *)
+  | Rclocked of trigger list (* edge-sensitive *)
+  | Rtimed (* no leading event control: self-timed (clock generators) *)
+
+type proc = {
+  p_path : string; (* instance path of the enclosing module *)
+  p_node : id; (* node of the always statement *)
+  p_region : region;
+  p_reads : Names.t; (* hierarchical names, pre-canonicalization *)
+  p_blk : Names.t; (* blocking write targets *)
+  p_nba : Names.t; (* non-blocking write targets *)
+  p_listed : Names.t; (* signals named in the sensitivity list *)
+  p_star : bool;
+}
+
+type flat = {
+  uf : uf;
+  mutable procs : proc list; (* always processes, reverse walk order *)
+  mutable init_writes : Names.t; (* initial-block targets: changeable *)
+  mutable cont : (Names.t * Names.t) list; (* (targets, support) edges *)
+  mutable ext_driven : Names.t; (* root inputs: change without a writer *)
+}
+
+let writes_split (s : stmt) : Names.t * Names.t =
+  Ast_utils.fold_stmt
+    (fun (blk, nba) (sub : stmt) ->
+      match sub.s with
+      | Blocking (lhs, _, _) ->
+          ( List.fold_left
+              (fun acc n -> Names.add n acc)
+              blk (Ast_utils.lvalue_base lhs),
+            nba )
+      | Nonblocking (lhs, _, _) ->
+          ( blk,
+            List.fold_left
+              (fun acc n -> Names.add n acc)
+              nba (Ast_utils.lvalue_base lhs) )
+      | _ -> (blk, nba))
+    (fun acc _ -> acc)
+    (Names.empty, Names.empty)
+    s
+
+let names_of_idents l = List.fold_left (fun acc n -> Names.add n acc) Names.empty l
+
+(* Parameter overrides vary per instance but are constant within one, so
+   parameter names are simply dropped from every signal set. *)
+let local_consts (m : module_decl) : Names.t =
+  List.fold_left
+    (fun acc (item : item) ->
+      match item.it with
+      | ParamDecl (_, pairs) ->
+          List.fold_left (fun acc (n, _) -> Names.add n acc) acc pairs
+      | _ -> acc)
+    Names.empty m.items
+
+let port_directions (m : module_decl) : direction SMap.t =
+  List.fold_left
+    (fun acc (item : item) ->
+      match item.it with
+      | PortDecl (dir, _, _, names) ->
+          List.fold_left (fun acc n -> SMap.add n dir acc) acc names
+      | _ -> acc)
+    SMap.empty m.items
+
+(* Resolve positional connections against the child's header port order,
+   mirroring [Sim.Elaborate]. *)
+let resolve_conns (child : module_decl) (conns : port_conn list) :
+    (string * expr) list =
+  let named =
+    List.for_all (function Named _ -> true | Positional _ -> false) conns
+  in
+  if named then
+    List.filter_map
+      (function Named (p, Some e) -> Some (p, e) | _ -> None)
+      conns
+  else
+    List.filteri (fun i _ -> i < List.length child.mod_ports) conns
+    |> List.mapi (fun i conn ->
+           match conn with
+           | Positional e -> Some (List.nth child.mod_ports i, e)
+           | Named (p, Some e) -> Some (p, e)
+           | Named (_, None) -> None)
+    |> List.filter_map Fun.id
+
+let rec flatten_module (f : flat) (byname : module_decl SMap.t) ~(path : string)
+    (m : module_decl) : unit =
+  let consts = local_consts m in
+  let q n = path ^ "." ^ n in
+  let qualify names =
+    Names.fold
+      (fun n acc -> if Names.mem n consts then acc else Names.add (q n) acc)
+      names Names.empty
+  in
+  List.iter
+    (fun (item : item) ->
+      match item.it with
+      | Always s -> (
+          match s.s with
+          | EventCtrl (specs, body) ->
+              let body =
+                match body with
+                | Some b -> b
+                | None -> { sid = s.sid; s = Null }
+              in
+              let reads, _ = Lint.reads_writes body in
+              let blk, nba = writes_split body in
+              let star = List.mem AnyChange specs in
+              let listed =
+                List.fold_left
+                  (fun acc spec ->
+                    match spec with
+                    | Level e | Posedge e | Negedge e ->
+                        Names.union acc
+                          (names_of_idents (Ast_utils.expr_idents e))
+                    | AnyChange -> acc)
+                  Names.empty specs
+              in
+              let region =
+                match Lint.style_of_specs specs with
+                | Lint.Clocked ->
+                    Rclocked
+                      (List.concat_map
+                         (fun spec ->
+                           match spec with
+                           | Posedge e ->
+                               List.map
+                                 (fun n -> Tedge (q n, true))
+                                 (Ast_utils.expr_idents e)
+                           | Negedge e ->
+                               List.map
+                                 (fun n -> Tedge (q n, false))
+                                 (Ast_utils.expr_idents e)
+                           | Level _ | AnyChange -> [])
+                         specs)
+                | Lint.Combinational | Lint.Mixed -> Rcomb
+              in
+              f.procs <-
+                {
+                  p_path = path;
+                  p_node = s.sid;
+                  p_region = region;
+                  p_reads = qualify reads;
+                  p_blk = qualify blk;
+                  p_nba = qualify nba;
+                  p_listed = qualify listed;
+                  p_star = star;
+                }
+                :: f.procs
+          | _ ->
+              (* No leading event control: a self-timed process (clock
+                 generator). Its writes change at times no static region
+                 shares, but they are [changeable]. *)
+              let reads, _ = Lint.reads_writes s in
+              let blk, nba = writes_split s in
+              f.procs <-
+                {
+                  p_path = path;
+                  p_node = s.sid;
+                  p_region = Rtimed;
+                  p_reads = qualify reads;
+                  p_blk = qualify blk;
+                  p_nba = qualify nba;
+                  p_listed = Names.empty;
+                  p_star = false;
+                }
+                :: f.procs)
+      | Initial s ->
+          let blk, nba = writes_split s in
+          f.init_writes <-
+            Names.union f.init_writes (qualify (Names.union blk nba))
+      | ContAssign assigns ->
+          List.iter
+            (fun (lhs, rhs) ->
+              let targets =
+                qualify (names_of_idents (Ast_utils.lvalue_base lhs))
+              in
+              let support =
+                qualify (names_of_idents (Ast_utils.expr_idents rhs))
+              in
+              f.cont <- (targets, support) :: f.cont)
+            assigns
+      | Instance { mod_name; inst_name; conns; _ } -> (
+          match SMap.find_opt mod_name byname with
+          | None -> () (* opaque instance: nothing to bind *)
+          | Some child ->
+              let child_path = q inst_name in
+              let dirs = port_directions child in
+              List.iter
+                (fun (port, e) ->
+                  let cport = child_path ^ "." ^ port in
+                  match e.e with
+                  | Ident n when not (Names.mem n consts) ->
+                      (* Whole-net connection: the child port and the
+                         parent net are the same elaborated signal. *)
+                      uf_union f.uf cport (q n)
+                  | _ -> (
+                      let idents =
+                        qualify (names_of_idents (Ast_utils.expr_idents e))
+                      in
+                      match SMap.find_opt port dirs with
+                      | Some Input ->
+                          f.cont <- (Names.singleton cport, idents) :: f.cont
+                      | Some Output ->
+                          f.cont <- (idents, Names.singleton cport) :: f.cont
+                      | Some Inout | None ->
+                          f.cont <- (Names.singleton cport, idents) :: f.cont;
+                          f.cont <- (idents, Names.singleton cport) :: f.cont))
+                (resolve_conns child conns);
+              flatten_module f byname ~path:child_path child)
+      | PortDecl _ | NetDecl _ | ParamDecl _ | EventDecl _ | DefineStub _ -> ())
+    m.items
+
+let flatten (design : design) ~(top : string) : flat option =
+  let byname =
+    List.fold_left
+      (fun acc (m : module_decl) ->
+        if SMap.mem m.mod_id acc then acc else SMap.add m.mod_id m acc)
+      SMap.empty design
+  in
+  match SMap.find_opt top byname with
+  | None -> None
+  | Some root ->
+      let f =
+        {
+          uf = Hashtbl.create 64;
+          procs = [];
+          init_writes = Names.empty;
+          cont = [];
+          ext_driven = Names.empty;
+        }
+      in
+      (* Primary inputs of the root change under external control. *)
+      f.ext_driven <-
+        SMap.fold
+          (fun n dir acc ->
+            match dir with
+            | Input | Inout -> Names.add (top ^ "." ^ n) acc
+            | Output -> acc)
+          (port_directions root) Names.empty;
+      flatten_module f byname ~path:top root;
+      f.procs <- List.rev f.procs;
+      Some f
+
+(* --- Hazard checks ------------------------------------------------------ *)
+
+let canon f names = Names.map (uf_find f.uf) names
+
+let canon_proc f (p : proc) =
+  let region =
+    match p.p_region with
+    | Rclocked ts ->
+        Rclocked (List.map (fun (Tedge (n, pos)) -> Tedge (uf_find f.uf n, pos)) ts)
+    | r -> r
+  in
+  {
+    p with
+    p_region = region;
+    p_reads = canon f p.p_reads;
+    p_blk = canon f p.p_blk;
+    p_nba = canon f p.p_nba;
+    p_listed = canon f p.p_listed;
+  }
+
+let triggers_overlap t1 t2 =
+  List.exists (fun (Tedge (n, e)) -> List.mem (Tedge (n, e)) t2) t1
+
+(* Can two processes execute in the same event region of one timestep? A
+   combinational process runs whenever its inputs settle, so it overlaps
+   anything; clocked processes overlap when they share a (signal, edge)
+   trigger; self-timed processes wake at times statically unknowable, so
+   they only (conservatively) overlap each other. *)
+let regions_overlap a b =
+  match (a, b) with
+  | Rcomb, _ | _, Rcomb -> true
+  | Rclocked t1, Rclocked t2 -> triggers_overlap t1 t2
+  | Rtimed, Rtimed -> true
+  | Rtimed, Rclocked _ | Rclocked _, Rtimed -> false
+
+(* Signals that can change value at runtime: procedural write targets and
+   root inputs, closed over continuous-assignment/port dependence edges. *)
+let changeable (f : flat) : Names.t =
+  let base =
+    List.fold_left
+      (fun acc p -> Names.union acc (Names.union p.p_blk p.p_nba))
+      (Names.union (canon f f.init_writes) (canon f f.ext_driven))
+      (List.map (canon_proc f) f.procs)
+  in
+  let cont =
+    List.map (fun (ts, sup) -> (canon f ts, canon f sup)) f.cont
+  in
+  let rec fix acc =
+    let acc' =
+      List.fold_left
+        (fun acc (targets, support) ->
+          if Names.is_empty (Names.inter support acc) then acc
+          else Names.union acc targets)
+        acc cont
+    in
+    if Names.cardinal acc' = Names.cardinal acc then acc else fix acc'
+  in
+  fix base
+
+(* Strip the shared hierarchy prefix when rendering a signal so messages
+   stay readable ("dut.q" rather than "tb.dut.q" inside tb). *)
+let pretty ~path sig_ =
+  let prefix = path ^ "." in
+  if
+    String.length sig_ > String.length prefix
+    && String.sub sig_ 0 (String.length prefix) = prefix
+  then String.sub sig_ (String.length prefix) (String.length sig_ - String.length prefix)
+  else sig_
+
+let check_flat ?(hazards = all_hazards) (f : flat) : Lint.finding list =
+  let procs = Array.of_list (List.map (canon_proc f) f.procs) in
+  let findings = ref [] in
+  let add sev rule ~path node fmt =
+    Printf.ksprintf
+      (fun message ->
+        findings :=
+          { Lint.severity = sev; rule; modname = path; node; message }
+          :: !findings)
+      fmt
+  in
+  let n = Array.length procs in
+  (* (a) write-write and (b) blocking read-write run over process pairs. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let p = procs.(i) and q = procs.(j) in
+        let overlap = regions_overlap p.p_region q.p_region in
+        if i < j && overlap && List.mem Write_write hazards then begin
+          let pw = Names.union p.p_blk p.p_nba
+          and qw = Names.union q.p_blk q.p_nba in
+          Names.iter
+            (fun s ->
+              add Lint.Error "write-write-race" ~path:p.p_path p.p_node
+                "%s is written by always blocks %s:%d and %s:%d, which can \
+                 run in the same event region"
+                (pretty ~path:p.p_path s) p.p_path p.p_node q.p_path q.p_node)
+            (Names.inter pw qw)
+        end;
+        (* (b): writer p, reader q — ordered, both clocked on a shared
+           edge. Signals the pair also contends on as writers are already
+           (a) findings. *)
+        if overlap && List.mem Blocking_rw hazards then
+          match (p.p_region, q.p_region) with
+          | Rclocked _, Rclocked _ ->
+              let contended =
+                Names.inter
+                  (Names.union p.p_blk p.p_nba)
+                  (Names.union q.p_blk q.p_nba)
+              in
+              Names.iter
+                (fun s ->
+                  if not (Names.mem s contended) then
+                    add Lint.Warning "blocking-read-write" ~path:p.p_path
+                      p.p_node
+                      "%s is blocking-assigned in %s:%d and read by %s:%d \
+                       under the same clock edge; the reader sees old or new \
+                       data depending on process order (use a non-blocking \
+                       assignment)"
+                      (pretty ~path:p.p_path s) p.p_path p.p_node q.p_path
+                      q.p_node)
+                (Names.inter p.p_blk q.p_reads)
+          | _ -> ()
+      end
+    done
+  done;
+  (* (c) mixed blocking/non-blocking writes per signal, across processes. *)
+  if List.mem Mixed_assign hazards then begin
+    let blk_by = Hashtbl.create 16 and nba_by = Hashtbl.create 16 in
+    Array.iter
+      (fun p ->
+        Names.iter
+          (fun s -> if not (Hashtbl.mem blk_by s) then Hashtbl.add blk_by s p)
+          p.p_blk;
+        Names.iter
+          (fun s -> if not (Hashtbl.mem nba_by s) then Hashtbl.add nba_by s p)
+          p.p_nba)
+      procs;
+    let sigs =
+      Hashtbl.fold (fun s _ acc -> if Hashtbl.mem nba_by s then s :: acc else acc)
+        blk_by []
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun s ->
+        let p = Hashtbl.find blk_by s and q = Hashtbl.find nba_by s in
+        add Lint.Warning "mixed-blocking-nonblocking" ~path:p.p_path p.p_node
+          "%s is written by both blocking (%s:%d) and non-blocking (%s:%d) \
+           assignments"
+          (pretty ~path:p.p_path s) p.p_path p.p_node q.p_path q.p_node)
+      sigs
+  end;
+  (* (d) stale reads: combinational processes missing a changeable input
+     from their sensitivity list. *)
+  if List.mem Stale_read hazards then begin
+    let can_change = changeable f in
+    Array.iter
+      (fun p ->
+        if p.p_region = Rcomb && not p.p_star then
+          let own = Names.union p.p_blk p.p_nba in
+          Names.iter
+            (fun s ->
+              if
+                (not (Names.mem s p.p_listed))
+                && (not (Names.mem s own))
+                && Names.mem s can_change
+              then
+                add Lint.Warning "stale-read" ~path:p.p_path p.p_node
+                  "combinational block %s:%d reads %s but is not sensitive \
+                   to it; it holds a stale value until another trigger fires"
+                  p.p_path p.p_node (pretty ~path:p.p_path s))
+            p.p_reads)
+      procs
+  end;
+  List.sort
+    (fun (a : Lint.finding) (b : Lint.finding) ->
+      compare (a.modname, a.node, a.rule, a.message)
+        (b.modname, b.node, b.rule, b.message))
+    !findings
+
+(* --- Entry points ------------------------------------------------------- *)
+
+let check_design ?(hazards = all_hazards) ~(top : string) (design : design) :
+    Lint.finding list =
+  match flatten design ~top with None -> [] | Some f -> check_flat ~hazards f
+
+(* Top candidates: modules never instantiated by another module in the
+   design, in source order. *)
+let roots (design : design) : string list =
+  let instantiated =
+    List.fold_left
+      (fun acc (m : module_decl) ->
+        List.fold_left
+          (fun acc (item : item) ->
+            match item.it with
+            | Instance { mod_name; _ } -> Names.add mod_name acc
+            | _ -> acc)
+          acc m.items)
+      Names.empty design
+  in
+  List.filter_map
+    (fun (m : module_decl) ->
+      if Names.mem m.mod_id instantiated then None else Some m.mod_id)
+    design
+
+let check_module ?(hazards = all_hazards) (m : module_decl) : Lint.finding list
+    =
+  check_design ~hazards ~top:m.mod_id [ m ]
+
+(* Pre-simulation screening hook for {!Cirfix.Evaluate}: any hazard on the
+   candidate module alone rejects it (Error-severity findings win the
+   message, mirroring [Analysis.screen]). *)
+let screen ~(hazards : hazard list) (m : module_decl) : string option =
+  match check_module ~hazards m with
+  | [] -> None
+  | findings ->
+      let pick =
+        match
+          List.find_opt (fun (f : Lint.finding) -> f.severity = Lint.Error)
+            findings
+        with
+        | Some f -> f
+        | None -> List.hd findings
+      in
+      Some (Format.asprintf "%a" Lint.pp_finding pick)

@@ -1,0 +1,10 @@
+// Error-severity lint finding: one net with two continuous-assignment
+// drivers. The lint subcommand must exit non-zero on it (the exit-code
+// contract the dune rule pins).
+module lint_bad(a, b, y);
+  input a, b;
+  output y;
+  wire y;
+  assign y = a;
+  assign y = b;
+endmodule

@@ -1,0 +1,14 @@
+// Warning-severity hazards only: blocking cross-block read-write, mixed
+// blocking/non-blocking writes, and a stale read from an incomplete
+// sensitivity list. The race subcommand reports them but exits zero.
+module racy_warnings(clk, a, b, y);
+  input clk, a, b;
+  output y;
+  reg y;
+  reg s;
+  reg t;
+  always @(posedge clk) s = a;
+  always @(posedge clk) t = s;
+  always @(negedge clk) t <= 1'b0;
+  always @(a) y = a & b;
+endmodule

@@ -1,0 +1,9 @@
+// Purpose-built error-severity race: one register written by two always
+// processes triggered by the same clock edge. The race subcommand must
+// flag this and exit non-zero (the exit-code contract the dune rule pins).
+module racy_ww(clk);
+  input clk;
+  reg r;
+  always @(posedge clk) r = 1'b0;
+  always @(posedge clk) r = 1'b1;
+endmodule
