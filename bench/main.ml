@@ -673,6 +673,112 @@ let perf () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead (BENCH_obs.json)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The disabled-sink contract: observability instrumentation costs a
+   boolean test per site when no sink is active. Measured as min-of-N
+   wall time of the same seeded repair on the smallest scenario in three
+   modes: baseline (sinks never enabled), enabled (trace + metrics +
+   journal all active), and disabled-again after use. With --check (the
+   @obs-overhead dune alias), fails if disabled-again exceeds baseline
+   by more than 2% — with an absolute floor so sub-millisecond scheduler
+   jitter cannot fail the gate. *)
+let obs_overhead_check = ref false
+
+let obs_overhead () =
+  section "Observability overhead (writes BENCH_obs.json)";
+  let d = Bench_suite.Defects.find 3 in
+  let prob = Bench_suite.Defects.problem d in
+  let cfg =
+    {
+      (Bench_suite.Runner.scenario_config d) with
+      seed = 1;
+      jobs = 1;
+      pop_size = 40;
+      max_generations = 3;
+      max_probes = 400;
+      max_wall_seconds = 600.0;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let min_of n f =
+    ignore (time f);
+    (* warmup *)
+    let best = ref infinity in
+    for _ = 1 to n do
+      best := Float.min !best (time f)
+    done;
+    !best
+  in
+  let run () = ignore (Cirfix.Gp.repair cfg prob) in
+  let journal_tmp = Filename.temp_file "cirfix_obs" ".jsonl" in
+  let enabled_records = ref 0 in
+  let enabled_events = ref 0 in
+  let run_enabled () =
+    Obs.Trace.start ();
+    Obs.Metrics.set_enabled true;
+    Obs.Journal.open_file journal_tmp;
+    ignore (Cirfix.Gp.repair cfg prob);
+    enabled_records := Obs.Journal.records ();
+    enabled_events := Obs.Trace.events ();
+    Obs.Journal.close ();
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ();
+    ignore (Obs.Trace.stop ())
+  in
+  let t_baseline = min_of 5 run in
+  let t_enabled = min_of 5 run_enabled in
+  let t_disabled = min_of 5 run in
+  (try Sys.remove journal_tmp with Sys_error _ -> ());
+  let ratio b = if t_baseline > 0. then b /. t_baseline else 0. in
+  Printf.printf "baseline (sinks never on):   %8.2f ms\n" (t_baseline *. 1e3);
+  Printf.printf "enabled (trace+metrics+jnl): %8.2f ms  (%.2fx)\n"
+    (t_enabled *. 1e3) (ratio t_enabled);
+  Printf.printf "disabled again after use:    %8.2f ms  (%.2fx)\n"
+    (t_disabled *. 1e3) (ratio t_disabled);
+  Printf.printf "enabled run: %d journal records, %d trace events\n"
+    !enabled_records !enabled_events;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": %d,\n\
+      \  \"baseline_ms\": %.3f,\n\
+      \  \"enabled_ms\": %.3f,\n\
+      \  \"disabled_ms\": %.3f,\n\
+      \  \"disabled_overhead\": %.4f,\n\
+      \  \"journal_records\": %d,\n\
+      \  \"trace_events\": %d\n\
+       }\n"
+      d.id (t_baseline *. 1e3) (t_enabled *. 1e3) (t_disabled *. 1e3)
+      (ratio t_disabled) !enabled_records !enabled_events
+  in
+  Out_channel.with_open_text "BENCH_obs.json" (fun oc -> output_string oc json);
+  Printf.printf "wrote BENCH_obs.json\n";
+  if !obs_overhead_check then begin
+    if !enabled_records = 0 then (
+      Printf.eprintf "obs-overhead: enabled run produced no journal records\n";
+      exit 1);
+    if !enabled_events = 0 then (
+      Printf.eprintf "obs-overhead: enabled run produced no trace events\n";
+      exit 1);
+    if
+      ratio t_disabled > 1.02
+      && t_disabled -. t_baseline > 0.005 (* absolute jitter floor: 5 ms *)
+    then (
+      Printf.eprintf
+        "obs-overhead: disabled-sink overhead %.1f%% exceeds the 2%% budget\n"
+        ((ratio t_disabled -. 1.) *. 100.);
+      exit 1);
+    Printf.printf "obs-overhead check passed (disabled overhead %.1f%%)\n"
+      ((ratio t_disabled -. 1.) *. 100.)
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let artifacts =
   [
@@ -690,6 +796,7 @@ let artifacts =
     ("ablation-params", ablation_params);
     ("repair-perf", repair_perf);
     ("race-audit", race_audit);
+    ("obs-overhead", obs_overhead);
     ("perf", perf);
   ]
 
@@ -703,6 +810,9 @@ let () =
           false)
         else if a = "--quick" then (
           quick := true;
+          false)
+        else if a = "--check" then (
+          obs_overhead_check := true;
           false)
         else true)
       args

@@ -71,9 +71,85 @@ let target_arg =
 
 let spec_of top clock dut : Sim.Simulate.spec = { top; clock; dut_path = dut }
 
+(* --- Observability options ----------------------------------------------
+
+   Three independent sinks, each enabled by naming an output file. All
+   default off; when off, the instrumented code paths reduce to a boolean
+   test per site. *)
+
+let obs_args =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON timeline of the run here;\n\
+             load it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry (counters, gauges, log-scale\n\
+             histograms) as JSON here and print a one-line summary to\n\
+             stderr.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per GP generation (or brute-force\n\
+             batch) here, flushed per record so a running repair can be\n\
+             followed with tail -f.")
+  in
+  Term.(const (fun t m j -> (t, m, j)) $ trace $ metrics $ journal)
+
+(* Run [f] with the requested sinks open, then flush them. [f] returns an
+   exit code rather than calling [exit] so the sinks are written even on
+   failure paths ([exit] would skip the cleanup). *)
+let with_obs ?(detail = false) (trace, metrics, journal) (f : unit -> int) :
+    unit =
+  (match trace with None -> () | Some _ -> Obs.Trace.start ~detail ());
+  (match metrics with None -> () | Some _ -> Obs.Metrics.set_enabled true);
+  (match journal with None -> () | Some path -> Obs.Journal.open_file path);
+  let code =
+    Fun.protect
+      ~finally:(fun () ->
+        (match trace with
+        | None -> ()
+        | Some path ->
+            List.iter
+              (fun msg -> Printf.eprintf "trace imbalance: %s\n" msg)
+              (Obs.Trace.imbalances ());
+            Obs.Trace.write_file path;
+            Printf.eprintf "trace written to %s\n%!" path);
+        (match metrics with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Obs.Metrics.dump_string ());
+                output_char oc '\n');
+            Printf.eprintf "%s\nmetrics written to %s\n%!"
+              (Obs.Metrics.summary ()) path;
+            Obs.Metrics.set_enabled false;
+            Obs.Metrics.reset ());
+        Obs.Journal.close ())
+      f
+  in
+  if code <> 0 then exit code
+
 (* --- simulate ------------------------------------------------------------- *)
 
-let simulate design testbench top clock dut show_display show_wave vcd_path =
+let simulate design testbench top clock dut show_display show_wave vcd_path
+    obs =
+  (* [detail] turns on per-timestep scheduler counter sampling: a single
+     simulation is small enough that the sample volume is welcome. *)
+  with_obs ~detail:true obs @@ fun () ->
   let d = or_die (read_file design) and tb = or_die (read_file testbench) in
   (* When dumping waveforms we drive the engine directly so the VCD
      observer can be attached before time 0. *)
@@ -95,7 +171,7 @@ let simulate design testbench top clock dut show_display show_wave vcd_path =
   with
   | Error (Sim.Simulate.Elab_failure m) ->
       Printf.eprintf "elaboration failed: %s\n" m;
-      exit 1
+      1
   | Ok r ->
       Printf.printf "outcome: %s (t=%d, %d statements)\n"
         (match r.outcome with
@@ -111,7 +187,8 @@ let simulate design testbench top clock dut show_display show_wave vcd_path =
       print_string (Sim.Recorder.to_string r.trace);
       if show_wave then (
         print_endline "--- waveform ---";
-        print_string (Sim.Wave.render r.trace))
+        print_string (Sim.Wave.render r.trace));
+      0
 
 let simulate_cmd =
   let doc = "Simulate a design under its testbench and print the recorded trace." in
@@ -125,7 +202,8 @@ let simulate_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "vcd" ] ~docv:"FILE" ~doc:"Also dump a VCD waveform."))
+          & info [ "vcd" ] ~docv:"FILE" ~doc:"Also dump a VCD waveform.")
+      $ obs_args)
 
 (* --- oracle ----------------------------------------------------------------- *)
 
@@ -201,13 +279,52 @@ let jobs_arg =
            default: recommended domain count minus one). Results are\n\
            identical for any value when the wall-clock bound does not bind.")
 
+(* The shared summary table of a search run (GP or brute-force): memo
+   behaviour and the per-status reject breakdown, aligned. Rates are
+   relative to total evaluations requested. *)
+let summary_table ~probes ~lookups ~memo_hits ~mutants ~compile_errors
+    ~static_rejects ~oversize_rejects ~racy_rejects ~runtime_races ~jobs
+    ~wall_seconds =
+  let count_pct part =
+    Printf.sprintf "%8d  (%5.1f%% of evals)" part
+      (Cirfix.Stats.percent ~part ~total:lookups)
+  in
+  [
+    ("evaluations requested", Printf.sprintf "%8d" lookups);
+    ("memo hits", count_pct memo_hits);
+    ("probes (simulations)", count_pct probes);
+    ("compile errors", count_pct compile_errors);
+    ("static rejects", count_pct static_rejects);
+    ("oversize rejects", count_pct oversize_rejects);
+    ("racy rejects", count_pct racy_rejects);
+  ]
+  @ (match mutants with
+    | Some m -> [ ("mutants generated", Printf.sprintf "%8d" m) ]
+    | None -> [])
+  @ (match runtime_races with
+    | Some races ->
+        [
+          ( "runtime races",
+            Printf.sprintf "%8d  (%.2f per 1000 sims)" races
+              (Cirfix.Stats.races_per_ksim ~races ~probes) );
+        ]
+    | None -> [])
+  @ [
+      ( "throughput",
+        Printf.sprintf "%8.1f  sims/sec (jobs=%d)"
+          (Cirfix.Stats.sims_per_sec ~probes ~wall_seconds)
+          jobs );
+      ("wall time", Printf.sprintf "%8.1f  s" wall_seconds);
+    ]
+
 let repair design golden testbench target top clock dut seed pop_size
-    generations max_probes wall jobs race_screen race_check output =
+    generations max_probes wall jobs race_screen race_check output obs =
+  with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
   and tb = or_die (read_file testbench) in
   let problem =
-    Cirfix.Problem.make ~name:"cli" ~faulty ~golden:golden_src ~testbench:tb
+    Cirfix.Problem.make ~name:target ~faulty ~golden:golden_src ~testbench:tb
       ~target (spec_of top clock dut)
   in
   let cfg =
@@ -229,17 +346,14 @@ let repair design golden testbench target top clock dut seed pop_size
   in
   let r = Cirfix.Gp.repair ~on_generation cfg problem in
   Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
-  Printf.printf
-    "probes: %d, mutants: %d, compile errors: %d, static rejects: %d, \
-     oversize rejects: %d, racy rejects: %d, wall: %.1fs\n"
-    r.probes r.mutants_generated r.compile_errors r.static_rejects
-    r.oversize_rejects r.racy_rejects r.wall_seconds;
-  if race_check then
-    Printf.printf "runtime races: %d (%.2f per 1000 sims)\n" r.runtime_races
-      (Cirfix.Stats.races_per_ksim ~races:r.runtime_races ~probes:r.probes);
-  Printf.printf "throughput: %.1f sims/sec (jobs=%d)\n"
-    (Cirfix.Stats.sims_per_sec ~probes:r.probes ~wall_seconds:r.wall_seconds)
-    cfg.jobs;
+  print_endline
+    (Cirfix.Stats.kv_table
+       (summary_table ~probes:r.probes ~lookups:r.lookups
+          ~memo_hits:r.memo_hits ~mutants:(Some r.mutants_generated)
+          ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
+          ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
+          ~runtime_races:(if race_check then Some r.runtime_races else None)
+          ~jobs:cfg.jobs ~wall_seconds:r.wall_seconds));
   (* Replay the final design (repaired when found, else the faulty
      original) under the repair testbench with coverage enabled, so the
      summary reports how much of the target the oracle actually
@@ -279,10 +393,11 @@ let repair design golden testbench target top clock dut seed pop_size
           Printf.printf "repaired module written to %s\n" path
       | None ->
           print_endline "--- repaired module ---";
-          print_endline src)
+          print_endline src);
+      0
   | _ ->
       print_endline "no repair found within the resource bounds";
-      exit 2
+      2
 
 let repair_cmd =
   let doc = "Search for a repair to a faulty design (Algorithm 1)." in
@@ -314,7 +429,71 @@ let repair_cmd =
           value
           & opt (some string) None
           & info [ "output"; "o" ] ~docv:"FILE"
-              ~doc:"Write the repaired module here."))
+              ~doc:"Write the repaired module here.")
+      $ obs_args)
+
+(* --- brute ------------------------------------------------------------------ *)
+
+let brute design golden testbench target top clock dut max_depth max_probes
+    wall jobs race_screen obs =
+  with_obs obs @@ fun () ->
+  let faulty = or_die (read_file design)
+  and golden_src = or_die (read_file golden)
+  and tb = or_die (read_file testbench) in
+  let problem =
+    Cirfix.Problem.make ~name:target ~faulty ~golden:golden_src ~testbench:tb
+      ~target (spec_of top clock dut)
+  in
+  let cfg =
+    {
+      Cirfix.Config.default with
+      max_probes;
+      max_wall_seconds = wall;
+      jobs;
+      screen_races = race_screen;
+    }
+  in
+  let r = Cirfix.Brute_force.search ~max_depth cfg problem in
+  Printf.printf "candidates tried: %d (depth <= %d)\n" r.candidates_tried
+    max_depth;
+  print_endline
+    (Cirfix.Stats.kv_table
+       (summary_table ~probes:r.probes ~lookups:r.lookups
+          ~memo_hits:r.memo_hits ~mutants:None
+          ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
+          ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
+          ~runtime_races:None ~jobs:cfg.jobs ~wall_seconds:r.wall_seconds));
+  match r.repaired with
+  | Some patch ->
+      Printf.printf "REPAIRED (%d edits):\n  %s\n" (List.length patch)
+        (Cirfix.Patch.to_string patch);
+      0
+  | None ->
+      print_endline "no repair found within the resource bounds";
+      2
+
+let brute_cmd =
+  let doc =
+    "Search for a repair by brute-force edit enumeration (the paper's RQ1\n\
+     baseline): breadth-first over edit depth, no fault localization, no\n\
+     fitness guidance beyond the plausibility check."
+  in
+  Cmd.v (Cmd.info "brute" ~doc)
+    Term.(
+      const brute $ design_arg $ golden_arg $ testbench_arg $ target_arg
+      $ top_arg $ clock_arg $ dut_arg
+      $ Arg.(
+          value & opt int 2
+          & info [ "max-depth" ] ~docv:"N" ~doc:"Maximum edits per patch.")
+      $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
+      $ Arg.(
+          value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
+      $ jobs_arg
+      $ Arg.(
+          value & flag
+          & info [ "race-screen" ]
+              ~doc:"Reject statically racy candidates before simulation.")
+      $ obs_args)
 
 (* --- coverage ---------------------------------------------------------------------- *)
 
@@ -544,6 +723,7 @@ let () =
             oracle_cmd;
             localize_cmd;
             repair_cmd;
+            brute_cmd;
             scenarios_cmd;
             lint_cmd;
             analyze_cmd;

@@ -106,7 +106,17 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
       Array.iter (fun s -> Option.iter (fun f -> f s) on_trial) seeds;
       let results =
         Cirfix.Pool.map pool
-          (fun seed -> Cirfix.Gp.repair { cfg with seed; jobs = 1 } problem)
+          (fun seed ->
+            if not (Obs.Trace.enabled ()) then
+              Cirfix.Gp.repair { cfg with seed; jobs = 1 } problem
+            else begin
+              let t = Obs.Trace.begin_ () in
+              let r = Cirfix.Gp.repair { cfg with seed; jobs = 1 } problem in
+              Obs.Trace.complete ~cat:"bench"
+                ~args:[ ("seed", Obs.Json.Int seed) ]
+                ~name:"trial" t;
+              r
+            end)
           seeds
       in
       summarize d ~trials (Array.to_list results)
@@ -115,7 +125,12 @@ let run_defect ?(cfg = Cirfix.Config.default) ?(trials = 5)
         if seed > trials then summarize d ~trials (List.rev acc)
         else (
           Option.iter (fun f -> f seed) on_trial;
+          let t = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
           let r = Cirfix.Gp.repair { cfg with seed } problem in
+          if Obs.Trace.enabled () then
+            Obs.Trace.complete ~cat:"bench"
+              ~args:[ ("seed", Obs.Json.Int seed) ]
+              ~name:"trial" t;
           if r.minimized <> None then summarize d ~trials (List.rev (r :: acc))
           else go (seed + 1) (r :: acc))
       in

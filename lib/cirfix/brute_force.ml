@@ -8,12 +8,21 @@ open Verilog.Ast
 type result = {
   repaired : Patch.t option;
   probes : int;
+  lookups : int; (* evaluations requested (memoized or not) *)
+  memo_hits : int; (* evaluations absorbed by the memo cache *)
+  compile_errors : int; (* candidates that failed elaboration *)
   static_rejects : int; (* candidates screened out before simulation *)
   oversize_rejects : int; (* candidates rejected for implausible size *)
   racy_rejects : int; (* candidates rejected by the static race screen *)
   wall_seconds : float;
   candidates_tried : int;
 }
+
+(* Journal cadence: one batch record per this many committed candidates.
+   A fixed quantum (rather than the pool's chunk size, which scales with
+   [jobs]) keeps the record stream byte-identical across parallelism
+   degrees. *)
+let journal_quantum = 256
 
 (* All single edits over the module: every delete, every same-class
    replacement, every insertion of an insertable statement after every
@@ -65,6 +74,35 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
   in
   let edits = single_edits original in
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      ([
+         ("type", Obs.Json.Str "run");
+         ("engine", Obs.Json.Str "brute");
+         ("problem", Obs.Json.Str problem.name);
+         ("single_edits", Obs.Json.Int (List.length edits));
+       ]
+      @ Config.journal_fields cfg);
+  (* Best fitness seen so far (over committed candidates), reported in
+     journal batch records. *)
+  let best = ref 0. in
+  let journal_batch ~depth =
+    Obs.Journal.emit
+      [
+        ("type", Obs.Json.Str "batch");
+        ("depth", Obs.Json.Int depth);
+        ("tried", Obs.Json.Int !tried);
+        ("best", Obs.Json.Float !best);
+        ("probes", Obs.Json.Int ev.probes);
+        ("lookups", Obs.Json.Int ev.lookups);
+        ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+        ("compile_errors", Obs.Json.Int ev.compile_errors);
+        ("static_rejects", Obs.Json.Int ev.static_rejects);
+        ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
+        ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+        ("elapsed_s", Obs.Json.Float (Unix.gettimeofday () -. t0));
+      ]
+  in
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   (* The enumeration order of the sequential sweep, as a lazy stream:
      depth 1, then depth 2 combinations, ... The stream is consumed in
@@ -98,22 +136,55 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
       stream := rest;
       if Array.length chunk = 0 then exhausted := true
       else begin
+        let t_chunk = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
         let mods = Array.map (Patch.apply original) chunk in
         let prepared = Evaluate.prepare ev ~pool mods in
         Array.iteri
           (fun i p ->
             if !found = None && not (out_of_resources ()) then (
               incr tried;
-              if (Evaluate.commit prepared i).fitness >= 1.0 then
-                found := Some p))
-          chunk
+              let o = Evaluate.commit prepared i in
+              if o.fitness > !best then best := o.fitness;
+              if o.fitness >= 1.0 then found := Some p;
+              if Obs.Journal.enabled () && !tried mod journal_quantum = 0 then
+                journal_batch ~depth:!d))
+          chunk;
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"brute"
+            ~args:
+              [
+                ("depth", Obs.Json.Int !d);
+                ("chunk", Obs.Json.Int (Array.length chunk));
+              ]
+            ~name:"brute.chunk" t_chunk
       end
     done;
+    (* Depth boundary: flush a record so partial quanta are visible. The
+       boundary is a property of the committed stream, not the pool. *)
+    if Obs.Journal.enabled () then journal_batch ~depth:!d;
     incr d
   done;
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      [
+        ("type", Obs.Json.Str "result");
+        ("repaired", Obs.Json.Bool (!found <> None));
+        ( "edits",
+          match !found with
+          | None -> Obs.Json.Null
+          | Some p -> Obs.Json.Int (List.length p) );
+        ("tried", Obs.Json.Int !tried);
+        ("probes", Obs.Json.Int ev.probes);
+        ("lookups", Obs.Json.Int ev.lookups);
+        ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+        ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
+      ];
   {
     repaired = !found;
     probes = ev.probes;
+    lookups = ev.lookups;
+    memo_hits = Evaluate.memo_hits ev;
+    compile_errors = ev.compile_errors;
     static_rejects = ev.static_rejects;
     oversize_rejects = ev.oversize_rejects;
     racy_rejects = ev.racy_rejects;

@@ -5,6 +5,9 @@
 type result = {
   repaired : Patch.t option;
   probes : int;
+  lookups : int;  (** evaluations requested, memoized or not *)
+  memo_hits : int;  (** evaluations absorbed by the memo cache *)
+  compile_errors : int;  (** candidates that failed elaboration *)
   static_rejects : int;
       (** candidates screened out statically, without simulation *)
   oversize_rejects : int;

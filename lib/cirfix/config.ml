@@ -79,6 +79,23 @@ let default =
     check_races = false;
   }
 
+(* Configuration fields recorded in a repair journal's run header.
+   [jobs] is deliberately absent: journal content (minus wall-times) must
+   be byte-identical across parallelism degrees, and the parallelism
+   degree is the one knob that may differ between otherwise identical
+   runs. *)
+let journal_fields (t : t) : (string * Obs.Json.t) list =
+  [
+    ("seed", Obs.Json.Int t.seed);
+    ("pop_size", Obs.Json.Int t.pop_size);
+    ("max_generations", Obs.Json.Int t.max_generations);
+    ("max_probes", Obs.Json.Int t.max_probes);
+    ("phi", Obs.Json.Float t.phi);
+    ("screen_mutants", Obs.Json.Bool t.screen_mutants);
+    ("screen_races", Obs.Json.Bool t.screen_races);
+    ("check_races", Obs.Json.Bool t.check_races);
+  ]
+
 (* The paper's full-scale configuration, for completeness. *)
 let paper_scale =
   {

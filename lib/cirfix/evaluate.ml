@@ -78,20 +78,60 @@ let key_of (candidate : Verilog.Ast.module_decl) : string =
 let oversize_outcome =
   { fitness = 0.; trace = []; status = Rejected_oversize; races = 0 }
 
+(* --- Observability ------------------------------------------------------
+   Metric instruments are registered once at module load; recording is
+   guarded by [Obs.Metrics.enabled] at each site so the disabled cost is a
+   boolean load. The sequential accounting step owns all counter updates,
+   which keeps metric values identical across [jobs] settings. *)
+
+let m_lookups = Obs.Metrics.counter "eval.lookups"
+let m_memo_hits = Obs.Metrics.counter "eval.memo_hits"
+let m_simulated = Obs.Metrics.counter "eval.simulated"
+let m_compile_error = Obs.Metrics.counter "eval.compile_error"
+let m_sim_diverged = Obs.Metrics.counter "eval.sim_diverged"
+let m_rejected_static = Obs.Metrics.counter "eval.rejected_static"
+let m_rejected_oversize = Obs.Metrics.counter "eval.rejected_oversize"
+let m_rejected_racy = Obs.Metrics.counter "eval.rejected_racy"
+let m_runtime_races = Obs.Metrics.counter "eval.runtime_races"
+
+let status_label = function
+  | Simulated -> "simulated"
+  | Compile_error _ -> "compile_error"
+  | Sim_diverged _ -> "sim_diverged"
+  | Rejected_static _ -> "rejected_static"
+  | Rejected_oversize -> "rejected_oversize"
+  | Rejected_racy _ -> "rejected_racy"
+
+(* Evaluations requested minus candidates actually scored: how many
+   lookups the memo cache absorbed. *)
+let memo_hits (ev : t) : int =
+  ev.lookups
+  - (ev.probes + ev.static_rejects + ev.oversize_rejects + ev.racy_rejects)
+
 (* Score one candidate without touching the cache or any counter. Reads
    only immutable state ([cfg], [problem], [original_size]), so concurrent
    calls from worker domains are safe. *)
-let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
+let compute_unspanned (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
   if oversize ev candidate then oversize_outcome
   else begin
     let screened =
-      if ev.cfg.screen_mutants then
-        Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate
+      if ev.cfg.screen_mutants then begin
+        let t = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+        let r = Verilog.Analysis.screen ~checks:ev.cfg.screen_checks candidate in
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"eval" ~name:"screen.static" t;
+        r
+      end
       else None
     in
     let racy () =
-      if ev.cfg.screen_races then
-        Verilog.Race.screen ~hazards:Verilog.Race.all_hazards candidate
+      if ev.cfg.screen_races then begin
+        let t = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+        let r = Verilog.Race.screen ~hazards:Verilog.Race.all_hazards candidate in
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"eval" ~name:"screen.race" t;
+        r
+      end
       else None
     in
     match screened with
@@ -150,10 +190,35 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
                 { fitness = 0.; trace = []; status = Sim_diverged m; races }))
   end
 
+(* [compute_unspanned] under a per-candidate trace span carrying the
+   resulting status; runs on whatever domain called it, so the span lands
+   on that worker's track. *)
+let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
+  if not (Obs.Trace.enabled ()) then compute_unspanned ev candidate
+  else begin
+    let t = Obs.Trace.begin_ () in
+    let o = compute_unspanned ev candidate in
+    Obs.Trace.complete ~cat:"eval"
+      ~args:[ ("status", Obs.Json.Str (status_label o.status)) ]
+      ~name:"evaluate" t;
+    o
+  end
+
 (* Counter accounting for a freshly computed (non-memoized) outcome,
    mirroring what the sequential path charges per status. *)
 let account (ev : t) (o : outcome) =
   ev.runtime_races <- ev.runtime_races + o.races;
+  (if Obs.Metrics.enabled () then begin
+     if o.races > 0 then Obs.Metrics.add m_runtime_races o.races;
+     Obs.Metrics.incr
+       (match o.status with
+       | Simulated -> m_simulated
+       | Compile_error _ -> m_compile_error
+       | Sim_diverged _ -> m_sim_diverged
+       | Rejected_static _ -> m_rejected_static
+       | Rejected_oversize -> m_rejected_oversize
+       | Rejected_racy _ -> m_rejected_racy)
+   end);
   match o.status with
   | Rejected_static _ -> ev.static_rejects <- ev.static_rejects + 1
   | Rejected_racy _ -> ev.racy_rejects <- ev.racy_rejects + 1
@@ -165,9 +230,12 @@ let account (ev : t) (o : outcome) =
 
 let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
   ev.lookups <- ev.lookups + 1;
+  if Obs.Metrics.enabled () then Obs.Metrics.incr m_lookups;
   let key = key_of candidate in
   match Hashtbl.find_opt ev.cache key with
-  | Some o -> o
+  | Some o ->
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_memo_hits;
+      o
   | None ->
       let outcome = compute ev candidate in
       account ev outcome;
@@ -191,6 +259,7 @@ type prepared = {
 
 let prepare (ev : t) ~(pool : Pool.t)
     (candidates : Verilog.Ast.module_decl array) : prepared =
+  let t_prep = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   let keys = Array.map key_of candidates in
   let computed = Hashtbl.create (Array.length candidates) in
   if Pool.size pool > 1 then begin
@@ -213,6 +282,14 @@ let prepare (ev : t) ~(pool : Pool.t)
       (fun j (key, _) -> Hashtbl.replace computed key outcomes.(j))
       batch
   end;
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"eval"
+      ~args:
+        [
+          ("batch", Obs.Json.Int (Array.length candidates));
+          ("speculated", Obs.Json.Int (Hashtbl.length computed));
+        ]
+      ~name:"eval.prepare_batch" t_prep;
   { ev; candidates; keys; computed }
 
 (* Commit candidate [i]: byte-for-byte the accounting of [eval_module],
@@ -225,9 +302,12 @@ let prepare (ev : t) ~(pool : Pool.t)
 let commit (p : prepared) (i : int) : outcome =
   let ev = p.ev in
   ev.lookups <- ev.lookups + 1;
+  if Obs.Metrics.enabled () then Obs.Metrics.incr m_lookups;
   let key = p.keys.(i) in
   match Hashtbl.find_opt ev.cache key with
-  | Some o -> o
+  | Some o ->
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_memo_hits;
+      o
   | None ->
       let outcome =
         match Hashtbl.find_opt p.computed key with

@@ -59,6 +59,15 @@ val create : Config.t -> Problem.t -> t
 val eval_module : t -> Verilog.Ast.module_decl -> outcome
 val eval_patch : t -> Verilog.Ast.module_decl -> Patch.t -> outcome
 
+(** Evaluations absorbed by the memo cache: [lookups] minus the
+    candidates that were actually scored (probes plus every pre-simulation
+    rejection). *)
+val memo_hits : t -> int
+
+(** Short stable label for a status ("simulated", "compile_error", ...),
+    as used in metric names and trace span arguments. *)
+val status_label : status -> string
+
 (** A batch of candidates whose simulations have (possibly) been run
     speculatively across a pool, awaiting sequential commitment. *)
 type prepared

@@ -30,6 +30,8 @@ type result = {
   repaired_module : Verilog.Ast.module_decl option;
   generations : generation_stats list; (* oldest first *)
   probes : int; (* fitness evaluations (simulations) *)
+  lookups : int; (* evaluations requested (memoized or not) *)
+  memo_hits : int; (* evaluations absorbed by the memo cache *)
   compile_errors : int; (* mutants that failed elaboration *)
   static_rejects : int; (* mutants screened out before simulation *)
   oversize_rejects : int; (* mutants rejected for implausible size *)
@@ -43,6 +45,50 @@ type result = {
 let mean = function
   | [] -> 0.
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+(* Journal record for one finished generation. Everything here is derived
+   from state the determinism contract already covers (population, memo
+   counters), so the journal is byte-identical across [jobs] — except
+   [elapsed_s], which consumers must strip before comparing. Diversity is
+   the number of structurally distinct programs in the population; the
+   hashing is only paid when a journal is open. *)
+let journal_generation (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
+    (popn : candidate array) ~(gen : int) ~(mutants : int) ~(found : bool)
+    ~(elapsed : float) : unit =
+  let fits = Array.map (fun c -> c.outcome.fitness) popn in
+  Array.sort compare fits;
+  let n = Array.length fits in
+  let fl = Array.to_list fits in
+  let diversity =
+    let seen = Hashtbl.create (Array.length popn) in
+    Array.iter
+      (fun c ->
+        Hashtbl.replace seen
+          (Verilog.Ast_utils.structural_hash (Patch.apply original c.patch))
+          ())
+      popn;
+    Hashtbl.length seen
+  in
+  Obs.Journal.emit
+    [
+      ("type", Obs.Json.Str "generation");
+      ("gen", Obs.Json.Int gen);
+      ("best", Obs.Json.Float (if found then 1.0 else if n = 0 then 0. else fits.(n - 1)));
+      ("median", Obs.Json.Float (Stats.median fl));
+      ("mean", Obs.Json.Float (mean fl));
+      ("worst", Obs.Json.Float (if n = 0 then 0. else fits.(0)));
+      ("diversity", Obs.Json.Int diversity);
+      ("population", Obs.Json.Int n);
+      ("mutants", Obs.Json.Int mutants);
+      ("probes", Obs.Json.Int ev.probes);
+      ("lookups", Obs.Json.Int ev.lookups);
+      ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+      ("compile_errors", Obs.Json.Int ev.compile_errors);
+      ("static_rejects", Obs.Json.Int ev.static_rejects);
+      ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
+      ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+      ("elapsed_s", Obs.Json.Float elapsed);
+    ]
 
 (* Tournament selection (paper Sec. 3.5): the fittest of [t] random picks.
    Fitness ties break toward shorter patches (parsimony pressure), which
@@ -110,6 +156,14 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   let out_of_resources () =
     Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
   in
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      ([
+         ("type", Obs.Json.Str "run");
+         ("engine", Obs.Json.Str "gp");
+         ("problem", Obs.Json.Str problem.name);
+       ]
+      @ Config.journal_fields cfg);
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
 
   let initial = { patch = []; outcome = Evaluate.eval_patch ev original [] } in
@@ -123,9 +177,12 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   let gen = ref 0 in
   while !found = None && !gen < cfg.max_generations && not (out_of_resources ()) do
     incr gen;
+    let t_gen = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+    let t_gen_wall = Unix.gettimeofday () in
     (* Propose: all RNG draws and patch materialization, sequentially on
        the main domain. (The wall-clock guard mirrors the sequential
        loop's: a generation stops growing when the trial is out of time.) *)
+    let t_propose = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
     let proposals = ref [] in
     let child_count = ref 0 in
     while !child_count < cfg.pop_size && not (out_of_resources ()) do
@@ -155,11 +212,16 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     done;
     let batch = Array.of_list (List.rev !proposals) in
     let mods = Array.map (Patch.apply original) batch in
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"gp"
+        ~args:[ ("proposals", Obs.Json.Int (Array.length batch)) ]
+        ~name:"gp.propose" t_propose;
     (* Evaluate: score the batch across the pool, then select by committing
        in batch order with the sequential guards. Stopping at the first
        plausible repair (or on budget exhaustion) discards the remaining
        speculative work, so counters match a jobs=1 run exactly. *)
     let prepared = Evaluate.prepare ev ~pool mods in
+    let t_select = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
     let child_popn = ref [] in
     Array.iteri
       (fun i patch ->
@@ -169,6 +231,8 @@ let repair ?(on_generation : (generation_stats -> unit) option)
           if c.outcome.fitness >= 1.0 then found := Some c;
           child_popn := c :: !child_popn))
       batch;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"gp" ~name:"gp.select" t_select;
     (* Elitism: carry the top e% of the previous generation forward. *)
     let elite_n =
       max 1 (int_of_float (cfg.elitism *. float_of_int cfg.pop_size))
@@ -196,18 +260,51 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       }
     in
     gen_stats := stats :: !gen_stats;
+    if Obs.Journal.enabled () then
+      journal_generation ev original !popn ~gen:!gen ~mutants:!mutants
+        ~found:(!found <> None)
+        ~elapsed:(Unix.gettimeofday () -. t_gen_wall);
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"gp"
+        ~args:
+          [
+            ("gen", Obs.Json.Int !gen);
+            ("best", Obs.Json.Float stats.best_fitness);
+          ]
+        ~name:"gp.generation" t_gen;
     Option.iter (fun f -> f stats) on_generation
   done;
 
+  let t_min = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   let minimized =
     Option.map (fun c -> Minimize.minimize ev original c.patch) !found
   in
+  if !found <> None && Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"gp" ~name:"gp.minimize" t_min;
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      [
+        ("type", Obs.Json.Str "result");
+        ("repaired", Obs.Json.Bool (!found <> None));
+        ( "edits",
+          match minimized with
+          | None -> Obs.Json.Null
+          | Some p -> Obs.Json.Int (List.length p) );
+        ("generations", Obs.Json.Int !gen);
+        ("probes", Obs.Json.Int ev.probes);
+        ("lookups", Obs.Json.Int ev.lookups);
+        ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+        ("mutants", Obs.Json.Int !mutants);
+        ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
+      ];
   {
     repaired = !found;
     minimized;
     repaired_module = Option.map (Patch.apply original) minimized;
     generations = List.rev !gen_stats;
     probes = ev.probes;
+    lookups = ev.lookups;
+    memo_hits = Evaluate.memo_hits ev;
     compile_errors = ev.compile_errors;
     static_rejects = ev.static_rejects;
     oversize_rejects = ev.oversize_rejects;

@@ -18,6 +18,8 @@ type result = {
   repaired_module : Verilog.Ast.module_decl option;
   generations : generation_stats list;  (** oldest first *)
   probes : int;  (** fitness evaluations (simulations actually run) *)
+  lookups : int;  (** evaluations requested, memoized or not *)
+  memo_hits : int;  (** evaluations absorbed by the memo cache *)
   compile_errors : int;  (** mutants that failed elaboration *)
   static_rejects : int;
       (** mutants rejected by the pre-simulation static screener; these

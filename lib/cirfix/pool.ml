@@ -44,7 +44,16 @@ let create ~jobs : t =
     }
   in
   t.workers <-
-    List.init (max 0 (jobs - 1)) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init
+      (max 0 (jobs - 1))
+      (fun _ ->
+        Domain.spawn (fun () ->
+            (* A worker's whole lifetime shows as one span on its track,
+               with the tasks it ran nested inside. *)
+            let traced = Obs.Trace.enabled () in
+            if traced then Obs.Trace.push ~cat:"pool" "pool.worker";
+            worker_loop t;
+            if traced then Obs.Trace.pop ()));
   t
 
 let shutdown (t : t) =
@@ -67,11 +76,19 @@ let map (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
     let results : 'b option array = Array.make n None in
     let errors : exn option array = Array.make n None in
     let remaining = ref n in
+    if Obs.Metrics.enabled () then
+      Obs.Metrics.add (Obs.Metrics.counter "pool.tasks") n;
     Mutex.lock t.m;
     for i = 0 to n - 1 do
       Queue.add
         (fun () ->
-          (try results.(i) <- Some (f xs.(i)) with e -> errors.(i) <- Some e);
+          (if not (Obs.Trace.enabled ()) then (
+             try results.(i) <- Some (f xs.(i)) with e -> errors.(i) <- Some e)
+           else
+             let t0 = Obs.Trace.begin_ () in
+             (try results.(i) <- Some (f xs.(i))
+              with e -> errors.(i) <- Some e);
+             Obs.Trace.complete ~cat:"pool" ~name:"pool.task" t0);
           Mutex.lock t.m;
           decr remaining;
           if !remaining = 0 then Condition.broadcast t.finished;

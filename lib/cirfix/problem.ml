@@ -31,12 +31,17 @@ let with_candidate (p : t) (candidate : Verilog.Ast.module_decl) :
 let make ~name ~(faulty : string) ~(golden : string) ~(testbench : string)
     ~(target : string) (spec : Sim.Simulate.spec) : t =
   let parse what src =
-    match Verilog.Parser.parse_design_result src with
-    | Ok d -> d
-    | Error e -> raise (Problem_error (what ^ ": " ^ e))
+    Obs.Trace.span ~cat:"problem"
+      ~args:[ ("what", Obs.Json.Str what) ]
+      "parse"
+      (fun () ->
+        match Verilog.Parser.parse_design_result src with
+        | Ok d -> d
+        | Error e -> raise (Problem_error (what ^ ": " ^ e)))
   in
   let golden_design = parse "golden" (golden ^ "\n" ^ testbench) in
   let golden_run =
+    Obs.Trace.span ~cat:"problem" "golden_sim" @@ fun () ->
     match Sim.Simulate.run golden_design spec with
     | Ok r -> r
     | Error (Sim.Simulate.Elab_failure msg) ->

@@ -21,6 +21,21 @@ let coverage_percent ~covered ~total =
 let races_per_ksim ~races ~probes =
   if probes <= 0 then 0. else 1000. *. float_of_int races /. float_of_int probes
 
+(* Percentage helper for counter breakdowns (0 when the total is 0). *)
+let percent ~part ~total =
+  if total <= 0 then 0. else 100. *. float_of_int part /. float_of_int total
+
+(* Render label/value rows as an aligned two-column table, one row per
+   line, labels padded to the widest. Used for the CLI repair summaries. *)
+let kv_table ?(indent = 2) (rows : (string * string) list) : string =
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
+  in
+  rows
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "%s%-*s  %s" (String.make indent ' ') width k v)
+  |> String.concat "\n"
+
 let median = function
   | [] -> nan
   | l ->

@@ -17,6 +17,13 @@ val coverage_percent : covered:int -> total:int -> float
     [probes] is 0. *)
 val races_per_ksim : races:int -> probes:int -> float
 
+(** [percent ~part ~total] as a percentage; 0 when [total] is 0. *)
+val percent : part:int -> total:int -> float
+
+(** Aligned two-column table of label/value rows (labels padded to the
+    widest), one row per line, indented by [indent] (default 2) spaces. *)
+val kv_table : ?indent:int -> (string * string) list -> string
+
 (** Ranks (1-based) with ties assigned their average rank. *)
 val ranks : float array -> float array
 

@@ -1,0 +1,17 @@
+(* Monotonic-by-construction nanosecond clock. The stdlib offers no raw
+   monotonic source, so we take [Unix.gettimeofday] and clamp it to be
+   non-decreasing across all domains (a CAS loop on the last value handed
+   out), which is the property the span tracer actually needs: a span can
+   never end before it starts and trace timestamps never run backwards. *)
+
+let last = Atomic.make 0
+
+let now_ns () : int =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let l = Atomic.get last in
+    if t <= l then l
+    else if Atomic.compare_and_set last l t then t
+    else clamp ()
+  in
+  clamp ()

@@ -1,0 +1,48 @@
+(* The repair journal: an append-only JSONL stream, one record per line,
+   flushed after every record so a running repair can be followed with
+   `tail -f`. Records are flat field lists rendered with the deterministic
+   {!Json} renderer; provided a record's non-timing fields are themselves
+   deterministic, the journal is byte-identical across parallelism
+   degrees (the PR 2 determinism contract extended to observability).
+
+   Like the other sinks this is process-global and off by default; call
+   sites must branch on [enabled] so a disabled journal costs one boolean
+   load. *)
+
+type sink = { oc : Out_channel.t; m : Mutex.t; mutable records : int }
+
+let sink : sink option ref = ref None
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let close () =
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.m;
+      Out_channel.flush s.oc;
+      Out_channel.close s.oc;
+      Mutex.unlock s.m);
+  sink := None;
+  enabled_flag := false
+
+let open_file (path : string) : unit =
+  close ();
+  sink :=
+    Some { oc = Out_channel.open_text path; m = Mutex.create (); records = 0 };
+  enabled_flag := true
+
+(* Append one record and flush (so `tail -f` sees it immediately). *)
+let emit (fields : (string * Json.t) list) : unit =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      let line = Json.to_string (Json.Obj fields) in
+      Mutex.lock s.m;
+      Out_channel.output_string s.oc line;
+      Out_channel.output_char s.oc '\n';
+      Out_channel.flush s.oc;
+      s.records <- s.records + 1;
+      Mutex.unlock s.m
+
+let records () : int = match !sink with None -> 0 | Some s -> s.records

@@ -127,6 +127,15 @@ type state = {
   mutable end_of_step_hooks : (state -> unit) list;
   mutable all_vars : var list;
   mutable scopes : scope list;
+  (* Scheduler observability: cheap per-run counters maintained only when
+     [obs_enabled] (set by Simulate when a trace or metrics sink is on),
+     so a plain run pays one boolean branch per dispatch and nothing
+     else. *)
+  mutable obs_enabled : bool;
+  mutable obs_active_dispatches : int; (* active-region thunks executed *)
+  mutable obs_nba_dispatches : int; (* non-blocking updates applied *)
+  mutable obs_timesteps : int; (* distinct simulation times visited *)
+  mutable obs_max_queue : int; (* deepest active queue seen at dispatch *)
 }
 
 let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
@@ -145,6 +154,11 @@ let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
     end_of_step_hooks = [];
     all_vars = [];
     scopes = [];
+    obs_enabled = false;
+    obs_active_dispatches = 0;
+    obs_nba_dispatches = 0;
+    obs_timesteps = 0;
+    obs_max_queue = 0;
   }
 
 let tick st =
@@ -404,6 +418,11 @@ let run_loop st =
     while not (Queue.is_empty st.current.sl_active) do
       if st.finished then Queue.clear st.current.sl_active
       else (
+        if st.obs_enabled then begin
+          let depth = Queue.length st.current.sl_active in
+          if depth > st.obs_max_queue then st.obs_max_queue <- depth;
+          st.obs_active_dispatches <- st.obs_active_dispatches + 1
+        end;
         run_thunk (Queue.pop st.current.sl_active);
         incr since_purge;
         (* Keep stale waiter groups from pinning fiber stacks inside
@@ -424,6 +443,9 @@ let run_loop st =
         match st.current.sl_nba with
         | [] -> settled := true
         | nbas ->
+            if st.obs_enabled then
+              st.obs_nba_dispatches <-
+                st.obs_nba_dispatches + List.length nbas;
             st.current.sl_nba <- [];
             List.iter run_thunk nbas)
     done;
@@ -431,6 +453,19 @@ let run_loop st =
     (* Monitor region. *)
     if not st.finished then
       List.iter (fun hook -> hook st) (List.rev st.end_of_step_hooks);
+    if st.obs_enabled then begin
+      st.obs_timesteps <- st.obs_timesteps + 1;
+      (* Detail mode samples the scheduler once per timestep as a Perfetto
+         counter track: cumulative dispatch counts plus the number of
+         future time slots still pending. *)
+      if Obs.Trace.detail () then
+        Obs.Trace.counter ~cat:"sim" ~name:"sim.scheduler"
+          [
+            ("active_dispatches", float_of_int st.obs_active_dispatches);
+            ("nba_dispatches", float_of_int st.obs_nba_dispatches);
+            ("pending_slots", float_of_int (List.length st.horizon));
+          ]
+    end;
     (* Advance time. *)
     match st.horizon with
     | [] -> exhausted := true

@@ -25,6 +25,11 @@ type error = Elab_failure of string
 let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
     ?(check_races = false) (design : Verilog.Ast.design) (spec : spec) :
     (result, error) Stdlib.result =
+  (* One boolean decides whether the run maintains scheduler counters and
+     emits spans; when no sink is active the only overhead left in the
+     simulator is a per-dispatch branch on [obs_enabled]. *)
+  let obs = Obs.Trace.enabled () || Obs.Metrics.enabled () in
+  let t_elab = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   match
     (try
        let elab = Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top in
@@ -35,13 +40,61 @@ let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
        Ok (elab, recorder)
      with Runtime.Elab_error msg -> Error (Elab_failure msg))
   with
-  | Error e -> Error e
+  | Error e ->
+      if obs && Obs.Trace.enabled () then
+        Obs.Trace.complete ~cat:"sim"
+          ~args:[ ("ok", Obs.Json.Bool false) ]
+          ~name:"sim.elaborate" t_elab;
+      Error e
   | Ok (elab, recorder) -> (
+      if obs then begin
+        elab.st.obs_enabled <- true;
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"sim"
+            ~args:[ ("top", Obs.Json.Str spec.top) ]
+            ~name:"sim.elaborate" t_elab
+      end;
+      let t_run = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+      let finish_obs () =
+        if obs then begin
+          let st = elab.st in
+          if Obs.Trace.enabled () then
+            Obs.Trace.complete ~cat:"sim"
+              ~args:
+                [
+                  ("steps", Obs.Json.Int st.steps);
+                  ("end_time", Obs.Json.Int st.now);
+                  ("active_dispatches", Obs.Json.Int st.obs_active_dispatches);
+                  ("nba_dispatches", Obs.Json.Int st.obs_nba_dispatches);
+                  ("timesteps", Obs.Json.Int st.obs_timesteps);
+                  ("max_queue", Obs.Json.Int st.obs_max_queue);
+                ]
+              ~name:"sim.run" t_run;
+          if Obs.Metrics.enabled () then begin
+            let wall_ns = Obs.Clock.now_ns () - t_run in
+            Obs.Metrics.observe
+              (Obs.Metrics.histogram "sim.wall_us")
+              (wall_ns / 1000);
+            Obs.Metrics.observe (Obs.Metrics.histogram "sim.steps") st.steps;
+            if st.obs_timesteps > 0 then
+              Obs.Metrics.observe
+                (Obs.Metrics.histogram "sim.events_per_timestep")
+                ((st.obs_active_dispatches + st.obs_nba_dispatches)
+                / st.obs_timesteps);
+            Obs.Metrics.observe
+              (Obs.Metrics.histogram "sim.max_queue_depth")
+              st.obs_max_queue
+          end
+        end
+      in
       (* Runtime scope errors (e.g. a mutant reading an undeclared name
          discovered only when that path executes) also count as failures. *)
       match Engine.run elab with
-      | exception Runtime.Elab_error msg -> Error (Elab_failure msg)
+      | exception Runtime.Elab_error msg ->
+          finish_obs ();
+          Error (Elab_failure msg)
       | outcome ->
+          finish_obs ();
           Ok
             {
               outcome;

@@ -14,8 +14,9 @@ type watched = {
 type t = {
   mutable watched : watched list;
   changes : Buffer.t; (* body of the dump, filled during simulation *)
-  mutable last_time : int;
-  mutable header_time : int;
+  mutable last_time : int; (* time of the last emitted #-record *)
+  init : Buffer.t; (* $dumpvars block: values captured at attach *)
+  st : Runtime.state; (* for flushing changes pending at render time *)
 }
 
 (* VCD identifier codes: printable ASCII 33..126, little-endian digits. *)
@@ -41,7 +42,27 @@ let attach (st : Runtime.state) : t =
     |> List.mapi (fun i (v : Runtime.var) ->
            { w_var = v; w_code = code_of_int i; w_last = None })
   in
-  let d = { watched; changes = Buffer.create 1024; last_time = -1; header_time = 0 } in
+  let d =
+    {
+      watched;
+      changes = Buffer.create 1024;
+      last_time = 0;
+      init = Buffer.create 256;
+      st;
+    }
+  in
+  (* $dumpvars-style initial snapshot: every watched variable's value at
+     attach time, under an initial #0 record. Change records written later
+     at time 0 extend this section rather than re-emitting #0, so the #
+     records in the finished dump are strictly increasing. *)
+  Buffer.add_string d.init "#0\n$dumpvars\n";
+  List.iter
+    (fun w ->
+      w.w_last <- Some w.w_var.Runtime.v_value;
+      Buffer.add_string d.init
+        (value_str w.w_var.Runtime.v_value ^ w.w_code ^ "\n"))
+    d.watched;
+  Buffer.add_string d.init "$end\n";
   let hook (st : Runtime.state) =
     let dirty =
       List.filter
@@ -49,7 +70,7 @@ let attach (st : Runtime.state) : t =
         d.watched
     in
     if dirty <> [] then (
-      if st.now <> d.last_time then (
+      if st.now > d.last_time then (
         Buffer.add_string d.changes (Printf.sprintf "#%d\n" st.now);
         d.last_time <- st.now);
       List.iter
@@ -97,7 +118,21 @@ let to_string ?(timescale = "1ns") (d : t) : string =
       Buffer.add_string buf "$upscope $end\n")
     scopes;
   Buffer.add_string buf "$enddefinitions $end\n";
+  Buffer.add_buffer buf d.init;
   Buffer.add_buffer buf d.changes;
+  (* Changes made in the final timestep are not seen by the monitor-region
+     hook when $finish cuts the step short; flush them here. Rendering
+     does not mutate [d], so repeated calls produce identical output. *)
+  let pending =
+    List.filter (fun w -> w.w_last <> Some w.w_var.Runtime.v_value) d.watched
+  in
+  if pending <> [] then (
+    if d.st.now > d.last_time then
+      Buffer.add_string buf (Printf.sprintf "#%d\n" d.st.Runtime.now);
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (value_str w.w_var.Runtime.v_value ^ w.w_code ^ "\n"))
+      pending);
   Buffer.contents buf
 
 let to_file ?timescale (d : t) path =

@@ -1,0 +1,31 @@
+// 4-bit counter with an overflow bit (paper Figure 1a, correct version).
+module counter(clk, reset, enable, counter_out, overflow_out);
+  input clk;
+  input reset;
+  input enable;
+  output [3:0] counter_out;
+  output overflow_out;
+
+  wire clk;
+  wire reset;
+  wire enable;
+  reg [3:0] counter_out;
+  reg overflow_out;
+
+  always @(posedge clk) // Execute at each rising edge of the clock signal
+  begin: COUNTER
+    // If reset is active, reset the outputs to 0
+    if (reset == 1'b1) begin
+      counter_out <= #1 4'b0000;
+      overflow_out <= #1 1'b0;
+    end
+    // If enable is active, increment the counter
+    else if (enable == 1'b1) begin
+      counter_out <= #1 counter_out + 1;
+    end
+    // If the counter overflows, set overflow_out to be 1
+    if (counter_out == 4'b1111) begin
+      overflow_out <= #1 1'b1;
+    end
+  end
+endmodule

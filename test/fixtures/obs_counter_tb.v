@@ -1,0 +1,55 @@
+// Testbench for the 4-bit counter (paper Figure 1b).
+module counter_tb;
+  reg clk, reset, enable;
+  wire [3:0] counter_out;
+  wire overflow_out;
+
+  event reset_trigger;
+  event reset_done_trigger;
+  event terminate_sim;
+
+  counter dut (
+    .clk(clk),
+    .reset(reset),
+    .enable(enable),
+    .counter_out(counter_out),
+    .overflow_out(overflow_out)
+  );
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    enable = 0;
+  end
+
+  always #5 clk = !clk; // Set clock signal oscillations
+
+  initial begin // Reset logic
+    #5; // Wait for 5 time units
+    forever begin
+      @(reset_trigger); // Wait for the reset_trigger event
+      @(negedge clk);
+      reset = 1; // Set reset to 1 on the next falling edge of the clock
+      @(negedge clk);
+      reset = 0; // Set reset to 0 on the next falling edge of the clock
+      -> reset_done_trigger; // Send the reset_done_trigger event signal
+    end
+  end
+
+  initial begin // Stimulus
+    #10 -> reset_trigger; // Send the reset_trigger event after 10 time units
+    @(reset_done_trigger); // Wait for the reset_done_trigger event
+    @(negedge clk); // Wait for falling edge of the clock signal
+    enable = 1; // Enable the counter
+    repeat (21) begin // Wait for 21 more falling edges of the clock signal
+      @(negedge clk);
+    end
+    enable = 0; // Disable counter
+    #5 -> terminate_sim; // Terminate simulation after 5 time units
+  end
+
+  initial begin
+    @(terminate_sim);
+    $finish;
+  end
+endmodule

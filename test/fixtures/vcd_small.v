@@ -1,0 +1,26 @@
+// Small deterministic design for the VCD golden-file test: a toggling
+// bit and a 4-bit counter, both updated with non-blocking assignments so
+// several value changes land in one timestep.
+module vcd_small(clk, rst, q, cnt);
+  input clk;
+  input rst;
+  output q;
+  output [3:0] cnt;
+
+  wire clk;
+  wire rst;
+  reg q;
+  reg [3:0] cnt;
+
+  always @(posedge clk)
+  begin
+    if (rst == 1'b1) begin
+      q <= 1'b0;
+      cnt <= 4'b0000;
+    end
+    else begin
+      q <= !q;
+      cnt <= cnt + 1;
+    end
+  end
+endmodule

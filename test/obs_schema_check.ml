@@ -1,0 +1,204 @@
+(* Validate a JSON document (or a JSONL stream with --jsonl) against a
+   checked-in schema written in a small subset of JSON Schema.
+
+   Supported keywords: "type" (object / array / string / number / integer /
+   boolean / null, or a list of those), "required", "properties", "items",
+   "enum", "const", "oneOf", and "additionalProperties" (boolean or schema).
+   That subset is enough to pin the shape of the trace, metrics and journal
+   sinks; anything fancier belongs in a real validator, not a test dep.
+
+   Usage: obs_schema_check [--jsonl] SCHEMA FILE
+   Exits non-zero with a path-qualified message on the first violation. *)
+
+open Obs
+
+exception Violation of string * string (* path, message *)
+
+let fail path msg = raise (Violation (path, msg))
+
+let type_name = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "boolean"
+  | Json.Int _ -> "integer"
+  | Json.Float _ -> "number"
+  | Json.Str _ -> "string"
+  | Json.List _ -> "array"
+  | Json.Obj _ -> "object"
+
+(* An Int satisfies "number": the emitters print whole-valued numbers
+   without a decimal point, so the parser yields Int for them. *)
+let matches_type v name =
+  match (name, v) with
+  | "object", Json.Obj _
+  | "array", Json.List _
+  | "string", Json.Str _
+  | "boolean", Json.Bool _
+  | "null", Json.Null
+  | "integer", Json.Int _
+  | "number", (Json.Int _ | Json.Float _) ->
+      true
+  | _ -> false
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Int i, Json.Float f | Json.Float f, Json.Int i ->
+      float_of_int i = f
+  | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all
+           (fun (k, v) ->
+             match List.assoc_opt k ys with
+             | Some w -> json_equal v w
+             | None -> false)
+           xs
+  | _ -> a = b
+
+let schema_field schema key =
+  match schema with
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec validate ~path schema value =
+  (match schema_field schema "const" with
+  | Some c when not (json_equal c value) ->
+      fail path
+        (Printf.sprintf "expected const %s, got %s" (Json.to_string c)
+           (Json.to_string value))
+  | _ -> ());
+  (match schema_field schema "enum" with
+  | Some (Json.List allowed) ->
+      if not (List.exists (fun c -> json_equal c value) allowed) then
+        fail path
+          (Printf.sprintf "%s not in enum %s" (Json.to_string value)
+             (Json.to_string (Json.List allowed)))
+  | Some _ -> fail path "schema error: enum must be an array"
+  | None -> ());
+  (match schema_field schema "type" with
+  | Some (Json.Str name) ->
+      if not (matches_type value name) then
+        fail path
+          (Printf.sprintf "expected %s, got %s" name (type_name value))
+  | Some (Json.List names) ->
+      let ok =
+        List.exists
+          (function Json.Str n -> matches_type value n | _ -> false)
+          names
+      in
+      if not ok then
+        fail path
+          (Printf.sprintf "expected one of %s, got %s"
+             (Json.to_string (Json.List names))
+             (type_name value))
+  | Some _ -> fail path "schema error: type must be a string or array"
+  | None -> ());
+  (match schema_field schema "oneOf" with
+  | Some (Json.List alternatives) -> (
+      let validates alt =
+        match validate ~path alt value with
+        | () -> true
+        | exception Violation _ -> false
+      in
+      match List.filter validates alternatives with
+      | [ _ ] -> ()
+      | [] ->
+          fail path
+            (Printf.sprintf "value matches none of the %d oneOf alternatives"
+               (List.length alternatives))
+      | matching ->
+          fail path
+            (Printf.sprintf "value matches %d oneOf alternatives (want 1)"
+               (List.length matching)))
+  | Some _ -> fail path "schema error: oneOf must be an array"
+  | None -> ());
+  match value with
+  | Json.Obj fields ->
+      let properties =
+        match schema_field schema "properties" with
+        | Some (Json.Obj props) -> props
+        | _ -> []
+      in
+      (match schema_field schema "required" with
+      | Some (Json.List req) ->
+          List.iter
+            (function
+              | Json.Str key ->
+                  if not (List.mem_assoc key fields) then
+                    fail path (Printf.sprintf "missing required field %S" key)
+              | _ -> fail path "schema error: required must list strings")
+            req
+      | _ -> ());
+      List.iter
+        (fun (key, v) ->
+          let sub = Printf.sprintf "%s.%s" path key in
+          match List.assoc_opt key properties with
+          | Some prop_schema -> validate ~path:sub prop_schema v
+          | None -> (
+              match schema_field schema "additionalProperties" with
+              | Some (Json.Bool false) ->
+                  fail path (Printf.sprintf "unexpected field %S" key)
+              | Some (Json.Bool true) | None -> ()
+              | Some extra_schema -> validate ~path:sub extra_schema v))
+        fields
+  | Json.List items -> (
+      match schema_field schema "items" with
+      | Some item_schema ->
+          List.iteri
+            (fun i v ->
+              validate ~path:(Printf.sprintf "%s[%d]" path i) item_schema v)
+            items
+      | None -> ())
+  | _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_or_die ~what text =
+  match Json.parse text with
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "%s: not valid JSON: %s\n" what msg;
+      exit 1
+
+let () =
+  let jsonl, schema_path, file_path =
+    match Array.to_list Sys.argv with
+    | [ _; "--jsonl"; s; f ] -> (true, s, f)
+    | [ _; s; f ] -> (false, s, f)
+    | _ ->
+        prerr_endline "usage: obs_schema_check [--jsonl] SCHEMA FILE";
+        exit 2
+  in
+  let schema = parse_or_die ~what:schema_path (read_file schema_path) in
+  let check ~what text =
+    let v = parse_or_die ~what text in
+    try validate ~path:"$" schema v
+    with Violation (path, msg) ->
+      Printf.eprintf "%s: schema violation at %s: %s\n" what path msg;
+      exit 1
+  in
+  if jsonl then begin
+    let lines = String.split_on_char '\n' (read_file file_path) in
+    let n = ref 0 in
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then begin
+          incr n;
+          check ~what:(Printf.sprintf "%s:%d" file_path (i + 1)) line
+        end)
+      lines;
+    if !n = 0 then begin
+      Printf.eprintf "%s: empty JSONL stream\n" file_path;
+      exit 1
+    end;
+    Printf.printf "%s: %d records ok\n" file_path !n
+  end
+  else begin
+    check ~what:file_path (read_file file_path);
+    Printf.printf "%s: ok\n" file_path
+  end

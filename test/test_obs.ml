@@ -1,0 +1,185 @@
+(* Tests for the observability layer (lib/obs): histogram bucketing edges,
+   span-stack imbalance detection, JSON escaping round-trips, and the
+   jobs-independence contract of the repair journal. *)
+
+open Obs
+
+let find_exn what = function Some v -> v | None -> Alcotest.failf "%s" what
+
+(* Pull histograms.<name> out of a Metrics.dump. *)
+let hist_of_dump name dump =
+  dump |> Json.member "histograms"
+  |> Option.fold ~none:None ~some:(Json.member name)
+  |> find_exn (Printf.sprintf "histogram %s missing from dump" name)
+
+let int_field obj key =
+  Json.member key obj
+  |> Option.fold ~none:None ~some:Json.to_int_opt
+  |> find_exn (Printf.sprintf "int field %s missing" key)
+
+let bucket_count hist floor_key =
+  match Json.member "buckets" hist with
+  | Some (Json.Obj fields) ->
+      (match List.assoc_opt floor_key fields with
+      | Some (Json.Int n) -> n
+      | Some _ -> Alcotest.fail "bucket count is not an int"
+      | None -> 0)
+  | _ -> Alcotest.fail "buckets missing from histogram"
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let h = Metrics.histogram "test.hist" in
+      Metrics.observe h 0;
+      Metrics.observe h 1;
+      Metrics.observe h 5;
+      (* 5 lands in the [4, 8) bucket, keyed by its floor. *)
+      Metrics.observe h max_int;
+      Metrics.observe h (-3);
+      (* negative: rejected, not bucketed *)
+      let hist = hist_of_dump "test.hist" (Metrics.dump ()) in
+      Alcotest.(check int) "count excludes rejects" 4 (int_field hist "count");
+      Alcotest.(check int) "rejected" 1 (int_field hist "rejected");
+      Alcotest.(check int) "zero bucket" 1 (bucket_count hist "0");
+      Alcotest.(check int) "one bucket" 1 (bucket_count hist "1");
+      Alcotest.(check int) "floor-4 bucket" 1 (bucket_count hist "4");
+      Alcotest.(check int) "max_int bucket" 1
+        (bucket_count hist "2305843009213693952"))
+
+let test_span_imbalance () =
+  Trace.start ();
+  Fun.protect
+    ~finally:(fun () -> ignore (Trace.stop ()))
+    (fun () ->
+      Trace.push "outer";
+      Trace.push "inner";
+      Trace.pop ();
+      (* "outer" is still open: it must be reported as an imbalance. *)
+      let open_spans = Trace.imbalances () in
+      Alcotest.(check int) "one open span" 1 (List.length open_spans);
+      let mentions_outer =
+        List.exists
+          (fun m ->
+            try
+              ignore (Str.search_forward (Str.regexp_string "outer") m 0);
+              true
+            with Not_found -> false)
+          open_spans
+      in
+      Alcotest.(check bool) "names the open span" true mentions_outer;
+      (* Close "outer"; the stack is balanced again. *)
+      Trace.pop ();
+      Alcotest.(check int) "balanced after closing" 0
+        (List.length (Trace.imbalances ()));
+      (* A stray pop on an empty stack is flagged, not fatal. *)
+      Trace.pop ();
+      Alcotest.(check int) "stray pop recorded" 1
+        (List.length (Trace.imbalances ())))
+
+let test_trace_render_parses () =
+  Trace.start ();
+  let json =
+    Fun.protect
+      ~finally:(fun () -> ignore (Trace.stop ()))
+      (fun () ->
+        Trace.span ~cat:"test" "sp\"an\\name" (fun () -> ());
+        Trace.instant ~args:[ ("k", Json.Str "line1\nline2") ] "i";
+        Trace.render ())
+  in
+  match Json.parse json with
+  | Error msg -> Alcotest.failf "trace output is not valid JSON: %s" msg
+  | Ok v -> (
+      match Json.member "traceEvents" v with
+      | Some (Json.List events) ->
+          let has name =
+            List.exists
+              (fun e -> Json.member "name" e = Some (Json.Str name))
+              events
+          in
+          Alcotest.(check bool) "escaped span name survives" true
+            (has "sp\"an\\name")
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let test_json_escaping_roundtrip () =
+  let gnarly =
+    [
+      "plain";
+      "with \"quotes\"";
+      "back\\slash";
+      "new\nline and tab\t";
+      "ctrl \001 char";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let doc = Json.Obj [ (s, Json.Str s) ] in
+      match Json.parse (Json.to_string doc) with
+      | Ok (Json.Obj [ (k, Json.Str v) ]) ->
+          Alcotest.(check string) "key round-trips" s k;
+          Alcotest.(check string) "value round-trips" s v
+      | Ok _ -> Alcotest.fail "unexpected shape after round-trip"
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+    gnarly
+
+(* The journal must be byte-identical across [jobs] once wall-clock fields
+   are stripped: records are derived only from sequentially-committed
+   state. This is the cross-process analogue of Gp's determinism test. *)
+let journal_of_repair ~jobs =
+  let path = Filename.temp_file "cirfix-journal" ".jsonl" in
+  let problem = Bench_suite.Defects.problem (Bench_suite.Defects.find 3) in
+  let cfg =
+    {
+      Cirfix.Config.default with
+      jobs;
+      seed = 1;
+      pop_size = 20;
+      max_generations = 3;
+      max_probes = 300;
+      max_wall_seconds = 600.0;
+    }
+  in
+  Journal.open_file path;
+  Fun.protect
+    ~finally:(fun () -> Journal.close ())
+    (fun () -> ignore (Cirfix.Gp.repair cfg problem));
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  s
+  |> Str.global_replace (Str.regexp "\"elapsed_s\":[0-9.eE+-]+") "\"elapsed_s\":X"
+  |> Str.global_replace
+       (Str.regexp "\"wall_seconds\":[0-9.eE+-]+")
+       "\"wall_seconds\":X"
+
+let test_journal_determinism () =
+  let j1 = journal_of_repair ~jobs:1 in
+  let j4 = journal_of_repair ~jobs:4 in
+  Alcotest.(check bool) "journal has records" true (String.length j1 > 0);
+  Alcotest.(check string) "journal identical for jobs=1 and jobs=4" j1 j4
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [ Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_buckets ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span imbalance" `Quick test_span_imbalance;
+          Alcotest.test_case "render parses with gnarly names" `Quick
+            test_trace_render_parses;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "escaping round-trip" `Quick
+            test_json_escaping_roundtrip ] );
+      ( "journal",
+        [ Alcotest.test_case "jobs-independent" `Slow test_journal_determinism ]
+      );
+    ]
