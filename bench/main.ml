@@ -633,6 +633,22 @@ let perf () =
   let rng = Random.State.make [| 1 |] in
   let fl = Cirfix.Fault_loc.localize original ~mismatch:[ "overflow_out" ] in
   let fl_stmts = Cirfix.Fault_loc.fl_statements original fl in
+  (* Synthetic long trace (2000 samples, 2 signals): exercises the
+     hash-join scoring path, which is linear in trace length where the old
+     per-sample list lookup was quadratic. *)
+  let long_trace which : Sim.Recorder.trace =
+    List.init 2000 (fun i ->
+        let v = (i * 7) + which in
+        {
+          Sim.Recorder.t = (i * 10) + 5;
+          values =
+            [
+              ("count", Logic4.Vec.of_int 4 (v land 15));
+              ("overflow_out", Logic4.Vec.of_int 1 ((v lsr 4) land 1));
+            ];
+        })
+  in
+  let long_expected = long_trace 0 and long_actual = long_trace 3 in
   let tests =
     [
       Test.make ~name:"T2: parse counter+tb" (Staged.stage (fun () ->
@@ -643,6 +659,10 @@ let perf () =
           ignore
             (Cirfix.Fitness.score ~phi:2.0 ~expected:prob.oracle
                ~actual:faulty_trace)));
+      Test.make ~name:"T3: fitness long trace (2000)" (Staged.stage (fun () ->
+          ignore
+            (Cirfix.Fitness.score ~phi:2.0 ~expected:long_expected
+               ~actual:long_actual)));
       Test.make ~name:"T3: fault localization" (Staged.stage (fun () ->
           ignore (Cirfix.Fault_loc.localize original ~mismatch:[ "overflow_out" ])));
       Test.make ~name:"T3: mutation draw" (Staged.stage (fun () ->

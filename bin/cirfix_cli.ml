@@ -257,7 +257,14 @@ let localize design golden testbench target top clock dut =
         (String.map
            (function '\n' -> ' ' | c -> c)
            (Verilog.Pp.stmt_to_string s)))
-    (Cirfix.Fault_loc.fl_statements m r)
+    (Cirfix.Fault_loc.fl_statements m r);
+  (* Annotated source dump: suspiciousness = 1/round of implication. *)
+  print_string "annotated source (heat = 1/round):\n";
+  List.iter
+    (fun (text, w) ->
+      if w > 0. then Printf.printf "  %4.2f | %s\n" w text
+      else Printf.printf "       | %s\n" text)
+    (Cirfix.Fault_loc.heat_lines m r)
 
 let localize_cmd =
   let doc = "Run CirFix's dataflow fault localization on a faulty design." in
@@ -710,6 +717,59 @@ let scenarios_cmd =
           & info [ "race-check" ]
               ~doc:"Enable the dynamic race checker during candidate runs."))
 
+(* --- report ---------------------------------------------------------------------- *)
+
+let report journal metrics out =
+  let contents = or_die (read_file journal) in
+  let records =
+    or_die
+      (Result.map_error
+         (fun e -> Printf.sprintf "%s: %s" journal e)
+         (Obs.Report.parse_journal contents))
+  in
+  let metrics_json =
+    Option.map
+      (fun path ->
+        or_die
+          (Result.map_error
+             (fun e -> Printf.sprintf "%s: %s" path e)
+             (Obs.Json.parse (or_die (read_file path)))))
+      metrics
+  in
+  let html = Obs.Report.render ?metrics:metrics_json records in
+  match out with
+  | None -> print_string html
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc html);
+      Printf.eprintf "wrote %s (%d journal records)\n" path
+        (List.length records)
+
+let report_cmd =
+  let doc =
+    "Render a repair journal (from --journal) as a self-contained HTML \
+     report: fitness/diversity curves, the evaluation breakdown, per-signal \
+     attribution, the fault-localization heatmap, and the winning patch's \
+     lineage tree."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const report
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"JOURNAL" ~doc:"Journal file (JSONL) to render.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "metrics" ] ~docv:"FILE"
+              ~doc:"Optional metrics dump (JSON) to include.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "output" ] ~docv:"FILE"
+              ~doc:"Write the report here (default: stdout)."))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -729,4 +789,5 @@ let () =
             analyze_cmd;
             race_cmd;
             coverage_cmd;
+            report_cmd;
           ]))

@@ -164,7 +164,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     if Obs.Journal.enabled () then journal_batch ~depth:!d;
     incr d
   done;
-  if Obs.Journal.enabled () then
+  if Obs.Journal.enabled () then begin
     Obs.Journal.emit
       [
         ("type", Obs.Json.Str "result");
@@ -173,12 +173,33 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
           match !found with
           | None -> Obs.Json.Null
           | Some p -> Obs.Json.Int (List.length p) );
+        ( "patch",
+          match !found with
+          | None -> Obs.Json.Null
+          | Some p -> Obs.Json.Str (Patch.to_string p) );
         ("tried", Obs.Json.Int !tried);
         ("probes", Obs.Json.Int ev.probes);
         ("lookups", Obs.Json.Int ev.lookups);
         ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
         ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
       ];
+    (* Terminal record: no wall-clock field, byte-identical across [jobs]. *)
+    Obs.Journal.emit
+      [
+        ("type", Obs.Json.Str "run_end");
+        ( "status",
+          Obs.Json.Str (if !found <> None then "repaired" else "no_repair") );
+        ("evals", Obs.Json.Int ev.lookups);
+        ("probes", Obs.Json.Int ev.probes);
+        ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+        ("compile_errors", Obs.Json.Int ev.compile_errors);
+        ("static_rejects", Obs.Json.Int ev.static_rejects);
+        ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
+        ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+        ("runtime_races", Obs.Json.Int ev.runtime_races);
+        ("tried", Obs.Json.Int !tried);
+      ]
+  end;
   {
     repaired = !found;
     probes = ev.probes;

@@ -246,6 +246,13 @@ let eval_patch (ev : t) (original : Verilog.Ast.module_decl) (p : Patch.t) :
     outcome =
   eval_module ev (Patch.apply original p)
 
+(* Per-signal attribution of an outcome's fitness against the problem's
+   oracle, under the configured phi — the breakdown behind the journal's
+   [attribution] records. *)
+let attribution (ev : t) (o : outcome) : (string * Fitness.signal_score) list =
+  Fitness.score_by_signal ~phi:ev.cfg.phi ~expected:ev.problem.oracle
+    ~actual:o.trace
+
 (* --- Batched evaluation over a domain pool ------------------------------ *)
 
 type prepared = {

@@ -68,6 +68,11 @@ val memo_hits : t -> int
     as used in metric names and trace span arguments. *)
 val status_label : status -> string
 
+(** Per-signal fitness attribution of an outcome against the problem's
+    oracle under the configured phi ({!Fitness.score_by_signal}); the
+    per-signal sums add up to the outcome's aggregate score exactly. *)
+val attribution : t -> outcome -> (string * Fitness.signal_score) list
+
 (** A batch of candidates whose simulations have (possibly) been run
     speculatively across a pool, awaiting sequential commitment. *)
 type prepared

@@ -11,16 +11,26 @@
    adds the implicated node and all of its children to the localization
    set, and feeds newly-seen identifiers back into the mismatch set
    (Add-Child) until a fixed point. The result is a uniformly-ranked set of
-   node ids, reflecting the parallel structure of HDL designs. *)
+   node ids, reflecting the parallel structure of HDL designs.
+
+   For explainability the analysis also records the fixed-point round in
+   which each node was first implicated. Round 1 nodes touch the mismatched
+   outputs directly; later rounds are reached only through the transitive
+   closure. [suspiciousness] turns that distance into a weight in (0, 1] —
+   the search itself still treats the set as uniformly ranked, exactly as
+   the paper does; the weights only feed the localization journal record
+   and the source heatmap. *)
 
 open Verilog.Ast
 module IdSet = Set.Make (Int)
+module IdMap = Map.Make (Int)
 module NameSet = Set.Make (String)
 
 type result = {
   fl : IdSet.t; (* implicated node ids (statements and expressions) *)
   mismatch : NameSet.t; (* final transitive mismatch set *)
   iterations : int; (* fixed-point rounds, for diagnostics *)
+  rounds : int IdMap.t; (* node id -> round in which it was implicated *)
 }
 
 (* Identifiers appearing anywhere in a statement subtree, including names
@@ -62,7 +72,7 @@ let localize (m : module_decl) ~(mismatch : string list) : result =
         | _ -> None)
       m.items
   in
-  let fl = ref IdSet.empty in
+  let rounds_tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let current = ref (NameSet.of_list mismatch) in
   let rounds = ref 0 in
   let changed = ref true in
@@ -80,8 +90,8 @@ let localize (m : module_decl) ~(mismatch : string list) : result =
     let add_ids ids =
       List.iter
         (fun id ->
-          if not (IdSet.mem id !fl) then (
-            fl := IdSet.add id !fl;
+          if not (Hashtbl.mem rounds_tbl id) then (
+            Hashtbl.add rounds_tbl id !rounds;
             changed := true))
         ids
     in
@@ -112,7 +122,22 @@ let localize (m : module_decl) ~(mismatch : string list) : result =
           assigns)
       cont_assigns
   done;
-  { fl = !fl; mismatch = !current; iterations = !rounds }
+  let rounds_map =
+    Hashtbl.fold (fun id r acc -> IdMap.add id r acc) rounds_tbl IdMap.empty
+  in
+  {
+    fl = IdMap.fold (fun id _ acc -> IdSet.add id acc) rounds_map IdSet.empty;
+    mismatch = !current;
+    iterations = !rounds;
+    rounds = rounds_map;
+  }
+
+(* Suspiciousness of a node: 1/round for implicated nodes (round 1 writes a
+   mismatched output directly), 0 for nodes outside the localization set. *)
+let suspiciousness (r : result) (id : int) : float =
+  match IdMap.find_opt id r.rounds with
+  | None -> 0.
+  | Some round -> 1. /. float_of_int round
 
 (* Statement ids within the localization set — the mutation targets. *)
 let fl_statements (m : module_decl) (r : result) : stmt list =
@@ -123,3 +148,49 @@ let fl_statements (m : module_decl) (r : result) : stmt list =
    target. *)
 let all_statements (m : module_decl) : stmt list =
   Verilog.Ast_utils.stmts_of_module m
+
+(* --- Source heatmap ------------------------------------------------------
+
+   [heat_lines] annotates the pretty-printed module with a per-line
+   suspiciousness weight. The AST carries no source positions, so the
+   mapping goes through the printer itself: each implicated statement (and
+   continuous-assignment item) is pretty-printed on its own, and module
+   lines whose trimmed text matches a trimmed line of an implicated node's
+   rendering inherit that node's weight (max over matches). Structural
+   noise lines ("begin", "end") are never marked. Two textually identical
+   statements therefore share the higher of their weights — acceptable for
+   a heatmap, and deterministic. *)
+
+let heat_markable (t : string) : bool =
+  t <> "" && t <> "begin" && t <> "end"
+
+let heat_lines (m : module_decl) (r : result) : (string * float) list =
+  let weights : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let mark w text =
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           let t = String.trim line in
+           if heat_markable t then
+             let prev =
+               Option.value (Hashtbl.find_opt weights t) ~default:0.
+             in
+             if w > prev then Hashtbl.replace weights t w)
+  in
+  List.iter
+    (fun (s : stmt) ->
+      let w = suspiciousness r s.sid in
+      if w > 0. then mark w (Verilog.Pp.stmt_to_string s))
+    (Verilog.Ast_utils.stmts_of_module m);
+  List.iter
+    (fun (item : item) ->
+      match item.it with
+      | ContAssign _ ->
+          let w = suspiciousness r item.iid in
+          if w > 0. then
+            mark w (Format.asprintf "%a" Verilog.Pp.pp_item item)
+      | _ -> ())
+    m.items;
+  String.split_on_char '\n' (Verilog.Pp.module_to_string m)
+  |> List.map (fun line ->
+         let t = String.trim line in
+         (line, Option.value (Hashtbl.find_opt weights t) ~default:0.))

@@ -8,15 +8,25 @@
     subtrees to the localization set, and feeds newly-seen identifiers back
     into the mismatch set (Add-Child) until a fixed point. Unlike
     spectrum-based localization, the result is a uniformly-ranked set,
-    reflecting the parallel structure of hardware designs. *)
+    reflecting the parallel structure of hardware designs.
+
+    For explainability the analysis additionally records, per node, the
+    fixed-point round in which it was implicated; {!suspiciousness} turns
+    that distance into a weight in (0, 1] used by the localization journal
+    record and the {!heat_lines} source heatmap. The repair search itself
+    still treats the set as uniformly ranked. *)
 
 module IdSet : Set.S with type elt = int
+module IdMap : Map.S with type key = int
 module NameSet : Set.S with type elt = string
 
 type result = {
   fl : IdSet.t;  (** implicated node ids (statements and expressions) *)
   mismatch : NameSet.t;  (** transitive closure of the mismatch set *)
   iterations : int;  (** fixed-point rounds taken *)
+  rounds : int IdMap.t;
+      (** round (1-based) in which each implicated node entered the set;
+          the domain of this map equals [fl] *)
 }
 
 (** All identifiers appearing in a statement subtree, including names
@@ -26,6 +36,10 @@ val stmt_idents : Verilog.Ast.stmt -> NameSet.t
 (** Run Algorithm 2 on one module given the initial output-mismatch set. *)
 val localize : Verilog.Ast.module_decl -> mismatch:string list -> result
 
+(** [suspiciousness r id] is [1/round] for implicated nodes (1.0 for nodes
+    that touch a mismatched output directly), 0 for the rest. *)
+val suspiciousness : result -> int -> float
+
 (** Statements of [m] within the localization set — the mutation targets. *)
 val fl_statements :
   Verilog.Ast.module_decl -> result -> Verilog.Ast.stmt list
@@ -33,3 +47,11 @@ val fl_statements :
 (** Every statement of the module; used when fault localization is disabled
     (ablation) or yields an empty set. *)
 val all_statements : Verilog.Ast.module_decl -> Verilog.Ast.stmt list
+
+(** The pretty-printed module, one entry per source line, each with the
+    max suspiciousness of the implicated statements whose rendering
+    contains that (trimmed) line — the per-line heatmap behind the
+    [localization] journal record and the HTML report. Unimplicated lines
+    carry weight 0. *)
+val heat_lines :
+  Verilog.Ast.module_decl -> result -> (string * float) list

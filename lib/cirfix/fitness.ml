@@ -7,11 +7,24 @@
      -1    when both are defined but differ,
      -phi  when exactly one side is x/z (or x vs z).
    total() accumulates the corresponding positive magnitudes, and
-   fitness = max(0, sum) / total, in [0, 1]; 1.0 is a plausible repair. *)
+   fitness = max(0, sum) / total, in [0, 1]; 1.0 is a plausible repair.
+
+   Scoring is attributed per output signal ([score_by_signal]): the
+   aggregate [score] is defined as the fold of the per-signal breakdown,
+   so the per-signal sums add up to the aggregate exactly — that identity
+   is what lets the repair journal explain a fitness value signal by
+   signal (which output drags the score down, and from which timestamp). *)
 
 open Logic4
 
 type score = { sum : float; total : float; fitness : float }
+
+type signal_score = {
+  s_sum : float;
+  s_total : float;
+  s_fitness : float;
+  first_divergence : int option;
+}
 
 let classify (o : Bit.t) (s : Bit.t) : [ `Match | `XzMatch | `Mismatch | `XzMismatch ] =
   match (o, s) with
@@ -20,52 +33,112 @@ let classify (o : Bit.t) (s : Bit.t) : [ `Match | `XzMatch | `Mismatch | `XzMism
   | Bit.V0, Bit.V1 | Bit.V1, Bit.V0 -> `Mismatch
   | _ -> `XzMismatch
 
-(* Compare one sample's signal values bit by bit. Signals present in the
-   oracle but absent from the simulation (e.g. after an aborted run) count
-   as fully unknown. *)
-let compare_values ~phi acc (expected : (string * Vec.t) list)
-    (actual : (string * Vec.t) list option) =
-  List.fold_left
-    (fun (sum, total) (name, ov) ->
-      let av =
-        match actual with
-        | None -> Vec.all_x (Vec.width ov)
-        | Some l -> (
-            match List.assoc_opt name l with
-            | Some v -> v
-            | None -> Vec.all_x (Vec.width ov))
-      in
-      let w = Vec.width ov in
-      let sum = ref sum and total = ref total in
-      for i = 0 to w - 1 do
-        match classify (Vec.get ov i) (Vec.get av i) with
-        | `Match ->
-            sum := !sum +. 1.;
-            total := !total +. 1.
-        | `XzMatch ->
-            sum := !sum +. phi;
-            total := !total +. phi
-        | `Mismatch ->
-            sum := !sum -. 1.;
-            total := !total +. 1.
-        | `XzMismatch ->
-            sum := !sum -. phi;
-            total := !total +. phi
-      done;
-      (!sum, !total))
-    acc expected
+(* Index the actual trace by timestamp once, so scoring a T-sample oracle
+   is O(T) instead of the O(T^2) of a per-sample list search. Recorded
+   traces have unique timestamps (one sample per rising clock edge);
+   [replace] keeps the last sample should that ever not hold. *)
+let actual_by_time (actual : Sim.Recorder.trace) :
+    (int, (string * Vec.t) list) Hashtbl.t =
+  let tbl = Hashtbl.create (2 * List.length actual) in
+  List.iter
+    (fun (a : Sim.Recorder.sample) -> Hashtbl.replace tbl a.t a.values)
+    actual;
+  tbl
 
+(* Score one signal's vector pair bit by bit. Width mismatches follow
+   Verilog zero-extension: [Vec.get] reads out-of-range bits as 0, so a
+   narrower actual is compared as if resized to the expected width.
+   [diverged] is true when any bit contributed negatively. *)
+let score_vec ~phi (ov : Vec.t) (av : Vec.t) : float * float * bool =
+  let w = Vec.width ov in
+  let sum = ref 0. and total = ref 0. and diverged = ref false in
+  for i = 0 to w - 1 do
+    match classify (Vec.get ov i) (Vec.get av i) with
+    | `Match ->
+        sum := !sum +. 1.;
+        total := !total +. 1.
+    | `XzMatch ->
+        sum := !sum +. phi;
+        total := !total +. phi
+    | `Mismatch ->
+        sum := !sum -. 1.;
+        total := !total +. 1.;
+        diverged := true
+    | `XzMismatch ->
+        sum := !sum -. phi;
+        total := !total +. phi;
+        diverged := true
+  done;
+  (!sum, !total, !diverged)
+
+type cell = {
+  mutable c_sum : float;
+  mutable c_total : float;
+  mutable c_first : int option;
+}
+
+(* Per-signal scoring breakdown. Signals present in the oracle but absent
+   from the simulation (or whole missing samples, e.g. after an aborted
+   run) count as fully unknown, exactly as in the aggregate score. The
+   result is sorted by signal name. *)
+let score_by_signal ~(phi : float) ~(expected : Sim.Recorder.trace)
+    ~(actual : Sim.Recorder.trace) : (string * signal_score) list =
+  let by_time = actual_by_time actual in
+  let cells : (string, cell) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (es : Sim.Recorder.sample) ->
+      let actual_values = Hashtbl.find_opt by_time es.t in
+      List.iter
+        (fun (name, ov) ->
+          let av =
+            match actual_values with
+            | None -> Vec.all_x (Vec.width ov)
+            | Some l -> (
+                match List.assoc_opt name l with
+                | Some v -> v
+                | None -> Vec.all_x (Vec.width ov))
+          in
+          let dsum, dtotal, diverged = score_vec ~phi ov av in
+          let c =
+            match Hashtbl.find_opt cells name with
+            | Some c -> c
+            | None ->
+                let c = { c_sum = 0.; c_total = 0.; c_first = None } in
+                Hashtbl.add cells name c;
+                order := name :: !order;
+                c
+          in
+          c.c_sum <- c.c_sum +. dsum;
+          c.c_total <- c.c_total +. dtotal;
+          if diverged && c.c_first = None then c.c_first <- Some es.t)
+        es.values)
+    expected;
+  List.rev !order
+  |> List.sort compare
+  |> List.map (fun name ->
+         let c = Hashtbl.find cells name in
+         ( name,
+           {
+             s_sum = c.c_sum;
+             s_total = c.c_total;
+             s_fitness =
+               (if c.c_total <= 0. then 0.
+                else Float.max 0. c.c_sum /. c.c_total);
+             first_divergence = c.c_first;
+           } ))
+
+(* The aggregate score is the fold of the per-signal breakdown, so
+   per-signal sums and totals add up to the aggregate exactly (same
+   floating-point additions, signal-major order). *)
 let score ~(phi : float) ~(expected : Sim.Recorder.trace)
     ~(actual : Sim.Recorder.trace) : score =
   let sum, total =
     List.fold_left
-      (fun acc (es : Sim.Recorder.sample) ->
-        let actual_values =
-          List.find_opt (fun (a : Sim.Recorder.sample) -> a.t = es.t) actual
-          |> Option.map (fun (a : Sim.Recorder.sample) -> a.values)
-        in
-        compare_values ~phi acc es.values actual_values)
-      (0., 0.) expected
+      (fun (sum, total) (_, (s : signal_score)) ->
+        (sum +. s.s_sum, total +. s.s_total))
+      (0., 0.)
+      (score_by_signal ~phi ~expected ~actual)
   in
   let fitness = if total <= 0. then 0. else Float.max 0. sum /. total in
   { sum; total; fitness }
@@ -74,16 +147,15 @@ let fitness ~phi ~expected ~actual = (score ~phi ~expected ~actual).fitness
 
 (* Output wires/registers whose value ever disagrees with the oracle — the
    starting mismatch set for fault localization (Alg. 2 line 2). A signal
-   also mismatches if the simulation never produced its sample. *)
+   also mismatches if the simulation never produced its sample. Uses the
+   same timestamp index as [score_by_signal], so the pass is O(T). *)
 let mismatched_signals ~(expected : Sim.Recorder.trace)
     ~(actual : Sim.Recorder.trace) : string list =
+  let by_time = actual_by_time actual in
   let bad = Hashtbl.create 8 in
   List.iter
     (fun (es : Sim.Recorder.sample) ->
-      let actual_values =
-        List.find_opt (fun (a : Sim.Recorder.sample) -> a.t = es.t) actual
-        |> Option.map (fun (a : Sim.Recorder.sample) -> a.values)
-      in
+      let actual_values = Hashtbl.find_opt by_time es.t in
       List.iter
         (fun (name, ov) ->
           let av =

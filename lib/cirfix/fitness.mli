@@ -6,7 +6,13 @@
     values add [phi], defined mismatches subtract 1, and comparisons where
     either side is x/z subtract [phi]. The normalized fitness is
     [max(0, sum) / total] in [0, 1]; 1.0 marks a plausible
-    (testbench-adequate) repair. *)
+    (testbench-adequate) repair.
+
+    The aggregate {!score} is defined as the fold of the per-signal
+    breakdown {!score_by_signal}, so per-signal sums and totals add up to
+    the aggregate exactly — the identity the repair journal's attribution
+    records rely on. Both passes index the actual trace by timestamp once,
+    so scoring is linear in the trace length. *)
 
 type score = {
   sum : float;  (** signed fitness sum over all timestamps and bits *)
@@ -14,9 +20,28 @@ type score = {
   fitness : float;  (** [max(0, sum) / total], in [0, 1] *)
 }
 
-(** Full scoring breakdown of [actual] against [expected]. Timestamps or
-    signals missing from [actual] (e.g. after an aborted simulation) are
-    scored as all-x. *)
+type signal_score = {
+  s_sum : float;  (** signed sum over this signal's timestamps and bits *)
+  s_total : float;  (** attainable magnitude for this signal *)
+  s_fitness : float;  (** [max(0, s_sum) / s_total], in [0, 1] *)
+  first_divergence : int option;
+      (** timestamp of the first sample where any bit of this signal
+          scored negatively (defined mismatch or x/z mismatch); [None]
+          when the signal never diverges from the oracle *)
+}
+
+(** Per-signal scoring breakdown of [actual] against [expected], sorted by
+    signal name. Timestamps or signals missing from [actual] (e.g. after an
+    aborted simulation) are scored as all-x; a narrower actual vector is
+    zero-extended to the expected width. *)
+val score_by_signal :
+  phi:float ->
+  expected:Sim.Recorder.trace ->
+  actual:Sim.Recorder.trace ->
+  (string * signal_score) list
+
+(** Full scoring breakdown of [actual] against [expected]: the fold of
+    {!score_by_signal}. *)
 val score :
   phi:float ->
   expected:Sim.Recorder.trace ->
@@ -32,6 +57,7 @@ val fitness :
 
 (** Output wires/registers whose value ever disagrees with the oracle: the
     starting mismatch set for fault localization (Algorithm 2, line 2).
-    Sorted, duplicate-free. *)
+    Sorted, duplicate-free. A signal is in this set iff its
+    {!signal_score.first_divergence} is [Some _]. *)
 val mismatched_signals :
   expected:Sim.Recorder.trace -> actual:Sim.Recorder.trace -> string list

@@ -10,7 +10,17 @@
    materialized batch is then scored across a domain pool and committed in
    batch index order ("first plausible repair" = lowest index), which makes
    the result — patch, probe count, generation stats — independent of the
-   parallelism degree. *)
+   parallelism degree.
+
+   When a journal is open the loop additionally explains itself: a
+   [localization] record for the original design (Alg. 2 output with
+   suspiciousness weights and a source heatmap), an [attribution] record
+   per generation (per-signal fitness breakdown of the best candidate), a
+   [lineage] record reconstructing the winning patch's genealogy from
+   per-candidate provenance (operator, target node, parent hashes), and a
+   terminal [run_end] record so `tail -f` consumers can detect completion.
+   All of it derives from sequentially-committed state, so the journal
+   stays byte-identical across [jobs]. *)
 
 type candidate = {
   patch : Patch.t;
@@ -45,6 +55,130 @@ type result = {
 let mean = function
   | [] -> 0.
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+(* Tournament selection (paper Sec. 3.5): the fittest of [t] random picks.
+   Fitness ties break toward shorter patches (parsimony pressure), which
+   keeps the population from drifting into junk edits while the search has
+   not yet found any gradient. *)
+let better (a : candidate) (b : candidate) =
+  a.outcome.fitness > b.outcome.fitness
+  || (a.outcome.fitness = b.outcome.fitness
+     && List.length a.patch < List.length b.patch)
+
+(* Index into the population, so callers can look up per-candidate data
+   (e.g. the precomputed structural hashes behind lineage tracking)
+   without rehashing. Draw count and draw order are unchanged from the
+   candidate-returning version — the mutant stream is seed-stable. *)
+let tournament_idx rng (cfg : Config.t) (popn : candidate array) : int =
+  let best = ref (Random.State.int rng (Array.length popn)) in
+  for _ = 2 to cfg.tournament_size do
+    let i = Random.State.int rng (Array.length popn) in
+    if better popn.(i) popn.(!best) then best := i
+  done;
+  !best
+
+(* --- Provenance and lineage ----------------------------------------------
+
+   Every proposed candidate carries how it was made: the operator (a
+   template name, a mutation kind, or crossover), the AST node it targeted,
+   and the structural hashes of its parent(s). Provenance is recorded —
+   only while a journal is open — into a table keyed by the candidate's
+   materialized structural hash; at the end of a successful run the
+   winner's genealogy is reconstructed by walking parent hashes back to the
+   seed and emitted as a [lineage] journal record. Distinct patches that
+   materialize to the same program share one node (first proposal wins),
+   mirroring how the memo cache shares their evaluation. *)
+
+type prov = {
+  p_op : string; (* "seed" | "delete" | "insert" | "replace"
+                    | "template:<name>" | "crossover" *)
+  p_target : int option; (* AST node id the edit targeted *)
+  p_parents : string list; (* structural hashes of the parent(s) *)
+}
+
+type lineage_node = {
+  l_op : string;
+  l_target : int option;
+  l_parents : string list;
+  l_gen : int;
+  l_fitness : float;
+}
+
+let prov_of_edit ~(parents : string list) (e : Patch.edit) : prov =
+  match e with
+  | Patch.Delete id -> { p_op = "delete"; p_target = Some id; p_parents = parents }
+  | Patch.Insert (id, _) ->
+      { p_op = "insert"; p_target = Some id; p_parents = parents }
+  | Patch.Replace (id, _) ->
+      { p_op = "replace"; p_target = Some id; p_parents = parents }
+  | Patch.Template (tpl, id, _) ->
+      {
+        p_op = "template:" ^ Templates.to_string tpl;
+        p_target = Some id;
+        p_parents = parents;
+      }
+
+let record_lineage (tbl : (string, lineage_node) Hashtbl.t) ~(hash : string)
+    ~(prov : prov) ~(gen : int) ~(fitness : float) : unit =
+  if not (Hashtbl.mem tbl hash) then
+    Hashtbl.add tbl hash
+      {
+        l_op = prov.p_op;
+        l_target = prov.p_target;
+        l_parents = prov.p_parents;
+        l_gen = gen;
+        l_fitness = fitness;
+      }
+
+(* Genealogy of [winner]: every lineage node reachable through parent
+   hashes, sorted by (generation, hash) for deterministic emission. *)
+let genealogy (tbl : (string, lineage_node) Hashtbl.t) (winner : string) :
+    (string * lineage_node) list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk hash =
+    if not (Hashtbl.mem seen hash) then begin
+      Hashtbl.add seen hash ();
+      match Hashtbl.find_opt tbl hash with
+      | None -> () (* parent predates tracking; genealogy stops here *)
+      | Some node ->
+          acc := (hash, node) :: !acc;
+          List.iter walk node.l_parents
+    end
+  in
+  walk winner;
+  List.sort
+    (fun (h1, n1) (h2, n2) -> compare (n1.l_gen, h1) (n2.l_gen, h2))
+    !acc
+
+let journal_lineage (tbl : (string, lineage_node) Hashtbl.t)
+    ~(winner : string) : unit =
+  let nodes =
+    genealogy tbl winner
+    |> List.map (fun (hash, n) ->
+           Obs.Json.Obj
+             [
+               ("hash", Obs.Json.Str hash);
+               ("op", Obs.Json.Str n.l_op);
+               ( "target",
+                 match n.l_target with
+                 | None -> Obs.Json.Null
+                 | Some id -> Obs.Json.Int id );
+               ( "parents",
+                 Obs.Json.List
+                   (List.map (fun h -> Obs.Json.Str h) n.l_parents) );
+               ("gen", Obs.Json.Int n.l_gen);
+               ("fitness", Obs.Json.Float n.l_fitness);
+             ])
+  in
+  Obs.Journal.emit
+    [
+      ("type", Obs.Json.Str "lineage");
+      ("winner", Obs.Json.Str winner);
+      ("nodes", Obs.Json.List nodes);
+    ]
+
+(* --- Journal records ------------------------------------------------------ *)
 
 (* Journal record for one finished generation. Everything here is derived
    from state the determinism contract already covers (population, memo
@@ -90,22 +224,92 @@ let journal_generation (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
       ("elapsed_s", Obs.Json.Float elapsed);
     ]
 
-(* Tournament selection (paper Sec. 3.5): the fittest of [t] random picks.
-   Fitness ties break toward shorter patches (parsimony pressure), which
-   keeps the population from drifting into junk edits while the search has
-   not yet found any gradient. *)
-let better (a : candidate) (b : candidate) =
-  a.outcome.fitness > b.outcome.fitness
-  || (a.outcome.fitness = b.outcome.fitness
-     && List.length a.patch < List.length b.patch)
+(* Per-signal fitness attribution of one candidate (paper Sec. 3.2, per
+   output wire): which signals drag the score down, and from which sample
+   timestamp onward. Emitted for the best candidate of each generation
+   (and for the seed design as gen 0). *)
+let journal_attribution (ev : Evaluate.t) (c : candidate) ~(gen : int) : unit =
+  let signals =
+    Evaluate.attribution ev c.outcome
+    |> List.map (fun (name, (s : Fitness.signal_score)) ->
+           Obs.Json.Obj
+             [
+               ("name", Obs.Json.Str name);
+               ("sum", Obs.Json.Float s.s_sum);
+               ("total", Obs.Json.Float s.s_total);
+               ("fitness", Obs.Json.Float s.s_fitness);
+               ( "first_divergence",
+                 match s.first_divergence with
+                 | None -> Obs.Json.Null
+                 | Some t -> Obs.Json.Int t );
+             ])
+  in
+  Obs.Journal.emit
+    [
+      ("type", Obs.Json.Str "attribution");
+      ("gen", Obs.Json.Int gen);
+      ("fitness", Obs.Json.Float c.outcome.fitness);
+      ("status", Obs.Json.Str (Evaluate.status_label c.outcome.status));
+      ("signals", Obs.Json.List signals);
+    ]
 
-let tournament rng (cfg : Config.t) (popn : candidate array) : candidate =
-  let best = ref popn.(Random.State.int rng (Array.length popn)) in
-  for _ = 2 to cfg.tournament_size do
-    let c = popn.(Random.State.int rng (Array.length popn)) in
-    if better c !best then best := c
-  done;
-  !best
+(* Fault-localization export for the original design: the implicated node
+   set with suspiciousness weights (1/round of implication) and the
+   pretty-printed source with per-line heat, so a report can render the
+   Alg. 2 heatmap without re-running the analysis. *)
+let journal_localization (original : Verilog.Ast.module_decl)
+    ~(mismatch : string list) : unit =
+  let r = Fault_loc.localize original ~mismatch in
+  let nodes =
+    Fault_loc.IdMap.bindings r.rounds
+    |> List.map (fun (id, round) ->
+           Obs.Json.Obj
+             [
+               ("id", Obs.Json.Int id);
+               ("round", Obs.Json.Int round);
+               ("weight", Obs.Json.Float (Fault_loc.suspiciousness r id));
+             ])
+  in
+  let source =
+    Fault_loc.heat_lines original r
+    |> List.map (fun (text, weight) ->
+           Obs.Json.Obj
+             [
+               ("text", Obs.Json.Str text); ("weight", Obs.Json.Float weight);
+             ])
+  in
+  Obs.Journal.emit
+    [
+      ("type", Obs.Json.Str "localization");
+      ( "mismatch",
+        Obs.Json.List (List.map (fun s -> Obs.Json.Str s) mismatch) );
+      ("iterations", Obs.Json.Int r.iterations);
+      ("implicated", Obs.Json.Int (Fault_loc.IdSet.cardinal r.fl));
+      ("nodes", Obs.Json.List nodes);
+      ("source", Obs.Json.List source);
+    ]
+
+(* Terminal record: emitted last, with no wall-clock field, so `tail -f`
+   consumers can detect completion and the record stays byte-identical
+   across [jobs]. *)
+let journal_run_end (ev : Evaluate.t) ~(status : string)
+    (extra : (string * Obs.Json.t) list) : unit =
+  Obs.Journal.emit
+    ([
+       ("type", Obs.Json.Str "run_end");
+       ("status", Obs.Json.Str status);
+       ("evals", Obs.Json.Int ev.lookups);
+       ("probes", Obs.Json.Int ev.probes);
+       ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
+       ("compile_errors", Obs.Json.Int ev.compile_errors);
+       ("static_rejects", Obs.Json.Int ev.static_rejects);
+       ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
+       ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+       ("runtime_races", Obs.Json.Int ev.runtime_races);
+     ]
+    @ extra)
+
+(* --- The repair loop ------------------------------------------------------ *)
 
 (* Fault-localize a parent: simulate (cached) and run Algorithm 2 against
    its own mismatch set — CirFix re-localizes per parent to support
@@ -156,6 +360,11 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   let out_of_resources () =
     Unix.gettimeofday () > deadline || ev.probes >= cfg.max_probes
   in
+  (* Lineage is journal-only state: the hashing it needs is paid only when
+     a journal is open (the same rule [journal_generation]'s diversity
+     count follows). *)
+  let lineage : (string, lineage_node) Hashtbl.t = Hashtbl.create 64 in
+  let hash_of_mod = Verilog.Ast_utils.structural_hash in
   if Obs.Journal.enabled () then
     Obs.Journal.emit
       ([
@@ -168,6 +377,17 @@ let repair ?(on_generation : (generation_stats -> unit) option)
 
   let initial = { patch = []; outcome = Evaluate.eval_patch ev original [] } in
   let found = ref (if initial.outcome.fitness >= 1.0 then Some initial else None) in
+  if Obs.Journal.enabled () then begin
+    let mismatch =
+      Fitness.mismatched_signals ~expected:ev.problem.oracle
+        ~actual:initial.outcome.trace
+    in
+    journal_localization original ~mismatch;
+    journal_attribution ev initial ~gen:0;
+    record_lineage lineage ~hash:(hash_of_mod original)
+      ~prov:{ p_op = "seed"; p_target = None; p_parents = [] }
+      ~gen:0 ~fitness:initial.outcome.fitness
+  end;
 
   (* seed_popn(C, popnSize): the population starts as copies of the faulty
      circuit (Alg. 1 line 1); generation 1 then explores pop_size fresh
@@ -179,6 +399,13 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     incr gen;
     let t_gen = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
     let t_gen_wall = Unix.gettimeofday () in
+    (* Parent hashes for lineage, computed once per generation (journal
+       open only); "" placeholders otherwise. *)
+    let popn_hashes =
+      if Obs.Journal.enabled () then
+        Array.map (fun c -> hash_of_mod (Patch.apply original c.patch)) !popn
+      else Array.map (fun _ -> "") !popn
+    in
     (* Propose: all RNG draws and patch materialization, sequentially on
        the main domain. (The wall-clock guard mirrors the sequential
        loop's: a generation stops growing when the trial is out of time.) *)
@@ -186,31 +413,39 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     let proposals = ref [] in
     let child_count = ref 0 in
     while !child_count < cfg.pop_size && not (out_of_resources ()) do
-      let parent = tournament rng cfg !popn in
+      let pi = tournament_idx rng cfg !popn in
+      let parent = (!popn).(pi) in
+      let parents = [ popn_hashes.(pi) ] in
       let m, fl_stmts, fl = localize_parent ev original cfg parent in
       let children =
         if cfg.use_templates && Random.State.float rng 1.0 <= cfg.rt_threshold
         then
           (* Repair templates (Alg. 1 line 8). *)
           match Mutate.template_edit rng m ~fl with
-          | Some e -> [ parent.patch @ [ e ] ]
+          | Some e -> [ (parent.patch @ [ e ], prov_of_edit ~parents e) ]
           | None -> []
         else if Random.State.float rng 1.0 <= cfg.mut_threshold then
           match Mutate.mutate rng cfg m ~fl_stmts with
-          | Some e -> [ parent.patch @ [ e ] ]
+          | Some e -> [ (parent.patch @ [ e ], prov_of_edit ~parents e) ]
           | None -> []
         else (
-          let parent2 = tournament rng cfg !popn in
+          let pi2 = tournament_idx rng cfg !popn in
+          let parent2 = (!popn).(pi2) in
+          let cross_parents = [ popn_hashes.(pi); popn_hashes.(pi2) ] in
           let c1, c2 = Mutate.crossover rng parent.patch parent2.patch in
-          [ c1; c2 ])
+          let prov =
+            { p_op = "crossover"; p_target = None; p_parents = cross_parents }
+          in
+          [ (c1, prov); (c2, prov) ])
       in
       List.iter
-        (fun patch ->
+        (fun tagged ->
           incr child_count;
-          proposals := patch :: !proposals)
+          proposals := tagged :: !proposals)
         children
     done;
-    let batch = Array.of_list (List.rev !proposals) in
+    let tagged_batch = Array.of_list (List.rev !proposals) in
+    let batch = Array.map fst tagged_batch in
     let mods = Array.map (Patch.apply original) batch in
     if Obs.Trace.enabled () then
       Obs.Trace.complete ~cat:"gp"
@@ -228,6 +463,9 @@ let repair ?(on_generation : (generation_stats -> unit) option)
         if !found = None && not (out_of_resources ()) then (
           incr mutants;
           let c = { patch; outcome = Evaluate.commit prepared i } in
+          if Obs.Journal.enabled () then
+            record_lineage lineage ~hash:(hash_of_mod mods.(i))
+              ~prov:(snd tagged_batch.(i)) ~gen:!gen ~fitness:c.outcome.fitness;
           if c.outcome.fitness >= 1.0 then found := Some c;
           child_popn := c :: !child_popn))
       batch;
@@ -260,10 +498,17 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       }
     in
     gen_stats := stats :: !gen_stats;
-    if Obs.Journal.enabled () then
+    if Obs.Journal.enabled () then begin
       journal_generation ev original !popn ~gen:!gen ~mutants:!mutants
         ~found:(!found <> None)
         ~elapsed:(Unix.gettimeofday () -. t_gen_wall);
+      let best =
+        Array.fold_left
+          (fun acc c -> if better c acc then c else acc)
+          (!popn).(0) !popn
+      in
+      journal_attribution ev best ~gen:!gen
+    end;
     if Obs.Trace.enabled () then
       Obs.Trace.complete ~cat:"gp"
         ~args:
@@ -281,7 +526,24 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   in
   if !found <> None && Obs.Trace.enabled () then
     Obs.Trace.complete ~cat:"gp" ~name:"gp.minimize" t_min;
-  if Obs.Journal.enabled () then
+  if Obs.Journal.enabled () then begin
+    (* Genealogy of the winner — or, when the search came up empty, of the
+       best surviving candidate, which is what a user debugs next. *)
+    let focus =
+      match !found with
+      | Some winner -> Some winner
+      | None ->
+          if Array.length !popn = 0 then None
+          else
+            Some
+              (Array.fold_left
+                 (fun acc c -> if better c acc then c else acc)
+                 (!popn).(0) !popn)
+    in
+    (match focus with
+    | Some c ->
+        journal_lineage lineage ~winner:(hash_of_mod (Patch.apply original c.patch))
+    | None -> ());
     Obs.Journal.emit
       [
         ("type", Obs.Json.Str "result");
@@ -290,6 +552,10 @@ let repair ?(on_generation : (generation_stats -> unit) option)
           match minimized with
           | None -> Obs.Json.Null
           | Some p -> Obs.Json.Int (List.length p) );
+        ( "patch",
+          match minimized with
+          | None -> Obs.Json.Null
+          | Some p -> Obs.Json.Str (Patch.to_string p) );
         ("generations", Obs.Json.Int !gen);
         ("probes", Obs.Json.Int ev.probes);
         ("lookups", Obs.Json.Int ev.lookups);
@@ -297,6 +563,13 @@ let repair ?(on_generation : (generation_stats -> unit) option)
         ("mutants", Obs.Json.Int !mutants);
         ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
       ];
+    journal_run_end ev
+      ~status:(if !found <> None then "repaired" else "no_repair")
+      [
+        ("generations", Obs.Json.Int !gen);
+        ("mutants", Obs.Json.Int !mutants);
+      ]
+  end;
   {
     repaired = !found;
     minimized;

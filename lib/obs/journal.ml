@@ -15,6 +15,9 @@ let sink : sink option ref = ref None
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 
+(* Idempotent: a second close (or a close with no sink open) is a no-op,
+   so the [at_exit] safety net below composes with explicit closes on the
+   normal path. *)
 let close () =
   (match !sink with
   | None -> ()
@@ -26,8 +29,17 @@ let close () =
   sink := None;
   enabled_flag := false
 
+(* Registered once, on the first [open_file]: even if the process exits
+   without closing the journal (uncaught exception, [exit] from a deep
+   call site), the stream is flushed and closed rather than truncated. *)
+let at_exit_registered = ref false
+
 let open_file (path : string) : unit =
   close ();
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit close
+  end;
   sink :=
     Some { oc = Out_channel.open_text path; m = Mutex.create (); records = 0 };
   enabled_flag := true

@@ -1,0 +1,21 @@
+(** Self-contained HTML report over a repair journal.
+
+    Consumes the parsed records of a JSONL journal (plus an optional
+    {!Metrics.dump} JSON value) and renders one HTML document with no
+    external assets: run configuration, outcome and minimized patch,
+    fitness and diversity curves as inline SVG, the evaluation-disposition
+    breakdown from the terminal [run_end] record, the per-signal fitness
+    attribution tables, the fault-localization source heatmap, and the
+    winning patch's lineage tree. Sections whose records are absent render
+    a placeholder rather than failing.
+
+    Rendering is deterministic — fixed float formats, input order
+    preserved, wall-clock fields never rendered — so identical journal
+    bytes produce identical report bytes (pinned by a golden-file test). *)
+
+(** [render ?metrics records] is the complete HTML document. *)
+val render : ?metrics:Json.t -> Json.t list -> string
+
+(** Parse JSONL [contents] into records, skipping blank lines. [Error]
+    names the first unparseable line. *)
+val parse_journal : string -> (Json.t list, string) result

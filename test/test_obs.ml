@@ -162,7 +162,18 @@ let test_journal_determinism () =
   let j1 = journal_of_repair ~jobs:1 in
   let j4 = journal_of_repair ~jobs:4 in
   Alcotest.(check bool) "journal has records" true (String.length j1 > 0);
-  Alcotest.(check string) "journal identical for jobs=1 and jobs=4" j1 j4
+  Alcotest.(check string) "journal identical for jobs=1 and jobs=4" j1 j4;
+  (* The explainability records ride the same determinism contract; make
+     sure they are actually present in what we just compared. *)
+  List.iter
+    (fun t ->
+      let needle = Printf.sprintf "\"type\":\"%s\"" t in
+      Alcotest.(check bool) (Printf.sprintf "has %s record" t) true
+        (try
+           ignore (Str.search_forward (Str.regexp_string needle) j1 0);
+           true
+         with Not_found -> false))
+    [ "attribution"; "localization"; "lineage"; "run_end" ]
 
 let () =
   Alcotest.run "obs"
