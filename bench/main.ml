@@ -565,6 +565,164 @@ let repair_perf () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Static pruning (BENCH_dataflow.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Defect 5's faulty counter with provably-dead code spliced in — an
+   unread debug register and an if (1'b0) branch. Mutations confined to
+   the dead region leave [Dataflow.prune_hash] unchanged, so this is the
+   scenario that exercises the dead-edit lane hard (real benchmark
+   designs carry little statically-dead code). *)
+let dead_code_problem () : Cirfix.Problem.t =
+  let d = Bench_suite.Defects.find 5 in
+  let p = Bench_suite.Projects.find d.project in
+  let faulty =
+    let src =
+      List.fold_left
+        (fun src rw -> Bench_suite.Defects.replace_once ~defect:d.id src rw)
+        (Bench_suite.Projects.design_source p)
+        d.rewrites
+    in
+    Bench_suite.Defects.replace_once ~defect:d.id src
+      ("reg overflow_out;", "reg overflow_out;\n  reg [3:0] dbg_trace;")
+  in
+  let faulty =
+    Bench_suite.Defects.replace_once ~defect:d.id faulty
+      ( "begin: COUNTER",
+        "begin: COUNTER\n\
+         \    dbg_trace <= counter_out;\n\
+         \    if (1'b0) begin\n\
+         \      dbg_trace <= 4'b0000;\n\
+         \    end" )
+  in
+  Cirfix.Problem.make ~name:"counter#5+dead" ~faulty
+    ~golden:(Bench_suite.Projects.design_source p)
+    ~testbench:(Bench_suite.Projects.tb_source p)
+    ~target:d.target
+    (Bench_suite.Projects.spec p)
+
+(* Measure what the static pruning lanes buy and what they cost: for the
+   dead-code scenario and a slice of real scenarios, run the same seeded
+   GP search and record simulations avoided (semantic folds + dead-edit
+   skips), the semantic-hit rate over all evaluation requests, and the
+   wall time spent inside the lanes as a fraction of the end-to-end
+   repair time. *)
+let dataflow_prune () =
+  section "Static pruning: sims avoided vs analysis overhead (writes BENCH_dataflow.json)";
+  let budget = if !quick then 1_500 else 6_000 in
+  let runs =
+    ("dead-code counter", None,
+     fun () ->
+       let cfg =
+         {
+           Cirfix.Config.default with
+           seed = 1;
+           pop_size = 200;
+           max_generations = (if !quick then 4 else 8);
+           max_probes = budget;
+           max_wall_seconds = 600.0;
+           (* dead code never executes, so fault localization would never
+              target it; without this the dead-edit lane sits idle *)
+           use_fault_loc = false;
+         }
+       in
+       Cirfix.Gp.repair cfg (dead_code_problem ()))
+    :: List.map
+         (fun (id, probes) ->
+           let d = Bench_suite.Defects.find id in
+           ( Printf.sprintf "%s#%d" d.project d.id,
+             Some d,
+             fun () ->
+               let cfg =
+                 {
+                   (Bench_suite.Runner.scenario_config d) with
+                   seed = 1;
+                   max_probes = probes;
+                   max_wall_seconds = 600.0;
+                 }
+               in
+               Cirfix.Gp.repair cfg (Bench_suite.Defects.problem d) ))
+         (* small fast-simulating designs plus the heavyweight ones
+            (i2c, sha3, sdram) where a probe costs tens of milliseconds;
+            the heavy designs get a reduced probe budget to keep the
+            artifact's wall time bounded *)
+         (let heavy = if !quick then 400 else 2_000 in
+          [
+            (1, budget);
+            (5, budget);
+            (8, budget);
+            (15, budget);
+            (18, heavy);
+            (21, heavy);
+            (30, heavy);
+          ])
+  in
+  Printf.printf "%-20s %8s %8s %9s %9s %10s %9s\n" "Scenario" "lookups"
+    "probes" "sem-hits" "dead-skip" "hit-rate%" "lane-ms";
+  let rows =
+    List.map
+      (fun (label, _, run) ->
+        let r : Cirfix.Gp.result = run () in
+        let avoided = r.semantic_hits + r.dead_edit_skips in
+        let hit_rate =
+          Cirfix.Stats.percent ~part:r.semantic_hits ~total:r.lookups
+        in
+        let overhead_pct =
+          if r.wall_seconds > 0. then
+            100. *. r.lane_seconds /. r.wall_seconds
+          else 0.
+        in
+        Printf.printf "%-20s %8d %8d %9d %9d %9.2f%% %9.1f\n" label r.lookups
+          r.probes r.semantic_hits r.dead_edit_skips hit_rate
+          (1000. *. r.lane_seconds);
+        (label, r, avoided, hit_rate, overhead_pct))
+      runs
+  in
+  let total_avoided =
+    List.fold_left (fun acc (_, _, a, _, _) -> acc + a) 0 rows
+  in
+  let total_lane =
+    List.fold_left
+      (fun acc (_, (r : Cirfix.Gp.result), _, _, _) -> acc +. r.lane_seconds)
+      0. rows
+  in
+  let total_wall =
+    List.fold_left
+      (fun acc (_, (r : Cirfix.Gp.result), _, _, _) -> acc +. r.wall_seconds)
+      0. rows
+  in
+  let overall_overhead =
+    if total_wall > 0. then 100. *. total_lane /. total_wall else 0.
+  in
+  Printf.printf
+    "\ntotal sims avoided statically: %d; analysis overhead %.2f%% of repair wall time\n"
+    total_avoided overall_overhead;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sims_avoided\": %d,\n\
+      \  \"analysis_overhead_pct\": %.3f,\n\
+      \  \"scenarios\": [\n%s\n  ]\n}\n"
+      total_avoided overall_overhead
+      (String.concat ",\n"
+         (List.map
+            (fun (label, (r : Cirfix.Gp.result), avoided, hit_rate, overhead)
+            ->
+              Printf.sprintf
+                "    { \"scenario\": \"%s\", \"lookups\": %d, \"probes\": %d,\n\
+                \      \"semantic_hits\": %d, \"dead_edit_skips\": %d,\n\
+                \      \"sims_avoided\": %d, \"semantic_hit_rate_pct\": %.3f,\n\
+                \      \"lane_seconds\": %.6f, \"wall_seconds\": %.3f,\n\
+                \      \"analysis_overhead_pct\": %.3f }"
+                label r.lookups r.probes r.semantic_hits r.dead_edit_skips
+                avoided hit_rate r.lane_seconds r.wall_seconds overhead)
+            rows))
+  in
+  Out_channel.with_open_text "BENCH_dataflow.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "wrote BENCH_dataflow.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Race audit: static + dynamic race analysis over the suite            *)
 (* ------------------------------------------------------------------ *)
 
@@ -815,6 +973,7 @@ let artifacts =
     ("ablation-phi", ablation_phi);
     ("ablation-params", ablation_params);
     ("repair-perf", repair_perf);
+    ("dataflow-prune", dataflow_prune);
     ("race-audit", race_audit);
     ("obs-overhead", obs_overhead);
     ("perf", perf);

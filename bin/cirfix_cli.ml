@@ -289,16 +289,20 @@ let jobs_arg =
 (* The shared summary table of a search run (GP or brute-force): memo
    behaviour and the per-status reject breakdown, aligned. Rates are
    relative to total evaluations requested. *)
-let summary_table ~probes ~lookups ~memo_hits ~mutants ~compile_errors
-    ~static_rejects ~oversize_rejects ~racy_rejects ~runtime_races ~jobs
-    ~wall_seconds =
+let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
+    ~mutants ~compile_errors ~static_rejects ~oversize_rejects ~racy_rejects
+    ~runtime_races ~jobs ~wall_seconds =
+  (* Values are unpadded: [Stats.kv_table] recomputes both column widths
+     from the rows, so counts of any magnitude stay aligned. *)
   let count_pct part =
-    Printf.sprintf "%8d  (%5.1f%% of evals)" part
+    Printf.sprintf "%d  (%.1f%% of evals)" part
       (Cirfix.Stats.percent ~part ~total:lookups)
   in
   [
-    ("evaluations requested", Printf.sprintf "%8d" lookups);
+    ("evaluations requested", Printf.sprintf "%d" lookups);
     ("memo hits", count_pct memo_hits);
+    ("semantic hits", count_pct semantic_hits);
+    ("dead-edit skips", count_pct dead_edit_skips);
     ("probes (simulations)", count_pct probes);
     ("compile errors", count_pct compile_errors);
     ("static rejects", count_pct static_rejects);
@@ -306,26 +310,27 @@ let summary_table ~probes ~lookups ~memo_hits ~mutants ~compile_errors
     ("racy rejects", count_pct racy_rejects);
   ]
   @ (match mutants with
-    | Some m -> [ ("mutants generated", Printf.sprintf "%8d" m) ]
+    | Some m -> [ ("mutants generated", Printf.sprintf "%d" m) ]
     | None -> [])
   @ (match runtime_races with
     | Some races ->
         [
           ( "runtime races",
-            Printf.sprintf "%8d  (%.2f per 1000 sims)" races
+            Printf.sprintf "%d  (%.2f per 1000 sims)" races
               (Cirfix.Stats.races_per_ksim ~races ~probes) );
         ]
     | None -> [])
   @ [
       ( "throughput",
-        Printf.sprintf "%8.1f  sims/sec (jobs=%d)"
+        Printf.sprintf "%.1f  sims/sec (jobs=%d)"
           (Cirfix.Stats.sims_per_sec ~probes ~wall_seconds)
           jobs );
-      ("wall time", Printf.sprintf "%8.1f  s" wall_seconds);
+      ("wall time", Printf.sprintf "%.1f  s" wall_seconds);
     ]
 
 let repair design golden testbench target top clock dut seed pop_size
-    generations max_probes wall jobs race_screen race_check output obs =
+    generations max_probes wall jobs race_screen race_check no_prune
+    check_pruning output obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -345,6 +350,8 @@ let repair design golden testbench target top clock dut seed pop_size
       jobs;
       screen_races = race_screen;
       check_races = race_check;
+      prune = not no_prune;
+      check_pruning;
     }
   in
   let on_generation (g : Cirfix.Gp.generation_stats) =
@@ -356,7 +363,9 @@ let repair design golden testbench target top clock dut seed pop_size
   print_endline
     (Cirfix.Stats.kv_table
        (summary_table ~probes:r.probes ~lookups:r.lookups
-          ~memo_hits:r.memo_hits ~mutants:(Some r.mutants_generated)
+          ~memo_hits:r.memo_hits ~semantic_hits:r.semantic_hits
+          ~dead_edit_skips:r.dead_edit_skips
+          ~mutants:(Some r.mutants_generated)
           ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
           ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
           ~runtime_races:(if race_check then Some r.runtime_races else None)
@@ -433,6 +442,21 @@ let repair_cmd =
                 "Run candidate simulations with the dynamic race checker\n\
                  enabled and report the total races observed.")
       $ Arg.(
+          value & flag
+          & info [ "no-prune" ]
+              ~doc:
+                "Disable the static pruning lanes (semantic-hash folding\n\
+                 and dead-edit skipping); every cache-missing candidate is\n\
+                 simulated.")
+      $ Arg.(
+          value & flag
+          & info [ "check-pruning" ]
+              ~doc:
+                "Verification mode: simulate every statically-pruned\n\
+                 candidate anyway and fail if its fitness differs from the\n\
+                 value the pruning lane served. Slow; for differential\n\
+                 testing of the pruner.")
+      $ Arg.(
           value
           & opt (some string) None
           & info [ "output"; "o" ] ~docv:"FILE"
@@ -442,7 +466,7 @@ let repair_cmd =
 (* --- brute ------------------------------------------------------------------ *)
 
 let brute design golden testbench target top clock dut max_depth max_probes
-    wall jobs race_screen obs =
+    wall jobs race_screen no_prune check_pruning obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -458,6 +482,8 @@ let brute design golden testbench target top clock dut max_depth max_probes
       max_wall_seconds = wall;
       jobs;
       screen_races = race_screen;
+      prune = not no_prune;
+      check_pruning;
     }
   in
   let r = Cirfix.Brute_force.search ~max_depth cfg problem in
@@ -466,7 +492,8 @@ let brute design golden testbench target top clock dut max_depth max_probes
   print_endline
     (Cirfix.Stats.kv_table
        (summary_table ~probes:r.probes ~lookups:r.lookups
-          ~memo_hits:r.memo_hits ~mutants:None
+          ~memo_hits:r.memo_hits ~semantic_hits:r.semantic_hits
+          ~dead_edit_skips:r.dead_edit_skips ~mutants:None
           ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
           ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
           ~runtime_races:None ~jobs:cfg.jobs ~wall_seconds:r.wall_seconds));
@@ -500,6 +527,16 @@ let brute_cmd =
           value & flag
           & info [ "race-screen" ]
               ~doc:"Reject statically racy candidates before simulation.")
+      $ Arg.(
+          value & flag
+          & info [ "no-prune" ]
+              ~doc:"Disable the static pruning lanes.")
+      $ Arg.(
+          value & flag
+          & info [ "check-pruning" ]
+              ~doc:
+                "Simulate statically-pruned candidates anyway and fail on\n\
+                 any fitness mismatch (differential testing of the pruner).")
       $ obs_args)
 
 (* --- coverage ---------------------------------------------------------------------- *)

@@ -19,6 +19,8 @@ type trial_summary = {
   oversize_rejects : int; (* mutants rejected for size, across all trials *)
   racy_rejects : int; (* mutants rejected by the race screen, across all trials *)
   runtime_races : int; (* dynamic races observed, across all trials *)
+  semantic_hits : int; (* semantic-lane folds, across all trials *)
+  dead_edit_skips : int; (* dead-edit skips, across all trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -33,7 +35,8 @@ type trial_summary = {
 let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
     : trial_summary =
   let rec go seed ~total_probes ~total_statics ~total_oversize ~total_racy
-      ~total_races ~total_seconds ~initial_fitness = function
+      ~total_races ~total_sem ~total_dead ~total_seconds ~initial_fitness =
+    function
     | [] ->
         {
           defect = d;
@@ -46,6 +49,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
           oversize_rejects = total_oversize;
           racy_rejects = total_racy;
           runtime_races = total_races;
+          semantic_hits = total_sem;
+          dead_edit_skips = total_dead;
           edits = 0;
           trials_run = trials;
           winning_seed = None;
@@ -60,6 +65,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
         let total_oversize = total_oversize + r.oversize_rejects in
         let total_racy = total_racy + r.racy_rejects in
         let total_races = total_races + r.runtime_races in
+        let total_sem = total_sem + r.semantic_hits in
+        let total_dead = total_dead + r.dead_edit_skips in
         let total_seconds = total_seconds +. r.wall_seconds in
         match (r.minimized, r.repaired_module) with
         | Some patch, Some m ->
@@ -74,6 +81,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
               oversize_rejects = total_oversize;
               racy_rejects = total_racy;
               runtime_races = total_races;
+              semantic_hits = total_sem;
+              dead_edit_skips = total_dead;
               edits = List.length patch;
               trials_run = seed;
               winning_seed = Some seed;
@@ -84,11 +93,12 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
             }
         | _ ->
             go (seed + 1) ~total_probes ~total_statics ~total_oversize
-              ~total_racy ~total_races ~total_seconds
+              ~total_racy ~total_races ~total_sem ~total_dead ~total_seconds
               ~initial_fitness:r.initial_fitness rest)
   in
   go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_racy:0
-    ~total_races:0 ~total_seconds:0. ~initial_fitness:0. results
+    ~total_races:0 ~total_sem:0 ~total_dead:0 ~total_seconds:0.
+    ~initial_fitness:0. results
 
 (* [pool]: when given (and wider than one domain), all [trials] seeds run
    speculatively in parallel — each trial forced to jobs=1 so the pool is

@@ -14,6 +14,8 @@ type result = {
   static_rejects : int; (* candidates screened out before simulation *)
   oversize_rejects : int; (* candidates rejected for implausible size *)
   racy_rejects : int; (* candidates rejected by the static race screen *)
+  semantic_hits : int; (* evaluations folded onto a semantic twin *)
+  dead_edit_skips : int; (* provably-dead edits scored without simulating *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -100,6 +102,8 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
         ("static_rejects", Obs.Json.Int ev.static_rejects);
         ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
         ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+        ("semantic_hits", Obs.Json.Int ev.semantic_hits);
+        ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
         ("elapsed_s", Obs.Json.Float (Unix.gettimeofday () -. t0));
       ]
   in
@@ -196,6 +200,8 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
         ("static_rejects", Obs.Json.Int ev.static_rejects);
         ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
         ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+        ("semantic_hits", Obs.Json.Int ev.semantic_hits);
+        ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
         ("runtime_races", Obs.Json.Int ev.runtime_races);
         ("tried", Obs.Json.Int !tried);
       ]
@@ -209,6 +215,8 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     static_rejects = ev.static_rejects;
     oversize_rejects = ev.oversize_rejects;
     racy_rejects = ev.racy_rejects;
+    semantic_hits = ev.semantic_hits;
+    dead_edit_skips = ev.dead_edit_skips;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
   }

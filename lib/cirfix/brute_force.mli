@@ -14,6 +14,12 @@ type result = {
       (** candidates rejected for implausible size without simulation *)
   racy_rejects : int;
       (** candidates rejected by the static race screen without simulation *)
+  semantic_hits : int;
+      (** evaluations folded onto a semantically-equivalent, already-scored
+          candidate without simulating *)
+  dead_edit_skips : int;
+      (** candidates whose edit was proved dead; seed fitness reused
+          without simulating *)
   wall_seconds : float;
   candidates_tried : int;
 }

@@ -41,6 +41,15 @@ type t = {
       (* runtime race checking: candidate simulations run with the dynamic
          same-timestep access checker enabled (Sim.Runtime); observed races
          are totalled across the trial *)
+  prune : bool;
+      (* static pruning lanes: fold semantically-equivalent candidates onto
+         already-scored ones (Verilog.Canon) and skip provably-dead edits
+         (Verilog.Dataflow) without simulating; disabled automatically when
+         [check_races] is set or the target takes parameter overrides *)
+  check_pruning : bool;
+      (* verification mode: every static-lane decision is double-checked by
+         simulating the candidate anyway and asserting fitness equality —
+         slow, for differential testing only *)
 }
 
 (* One evaluation domain per recommended core, minus one for the main
@@ -77,6 +86,8 @@ let default =
        bookkeeping, so both default off. *)
     screen_races = false;
     check_races = false;
+    prune = true;
+    check_pruning = false;
   }
 
 (* Configuration fields recorded in a repair journal's run header.
@@ -94,6 +105,8 @@ let journal_fields (t : t) : (string * Obs.Json.t) list =
     ("screen_mutants", Obs.Json.Bool t.screen_mutants);
     ("screen_races", Obs.Json.Bool t.screen_races);
     ("check_races", Obs.Json.Bool t.check_races);
+    ("prune", Obs.Json.Bool t.prune);
+    ("check_pruning", Obs.Json.Bool t.check_pruning);
   ]
 
 (* The paper's full-scale configuration, for completeness. *)

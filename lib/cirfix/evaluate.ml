@@ -27,6 +27,10 @@ type status =
     (* the static race analyzer (Verilog.Race) found a hazard in the
        candidate module: rejected like a static screen hit, without
        spending a simulation *)
+  | Skipped_dead_edit
+    (* the dataflow pruner proved the candidate's edit dead: erasing
+       provably-dead code from it yields the same skeleton as erasing it
+       from the seed, so the seed's fitness is reused without simulating *)
 
 type outcome = {
   fitness : float;
@@ -42,6 +46,17 @@ type t = {
   cfg : Config.t;
   original_size : int; (* node count of the unpatched module *)
   cache : (string, outcome) Hashtbl.t;
+  sem_tbl : (string, string) Hashtbl.t;
+      (* semantic hash -> cache key of the first candidate that produced
+         it (the donor); consulted on structural cache misses *)
+  lanes_enabled : bool;
+      (* static pruning lanes active: [cfg.prune], no runtime race
+         checking (reused outcomes cannot reproduce dynamic race counts),
+         and the target module is never instantiated with parameter
+         overrides (Dataflow/Canon facts assume declaration defaults) *)
+  seed_key : string; (* structural key of the unpatched module *)
+  seed_prune_hash : string option;
+      (* dead-edit skeleton of the unpatched module, when lanes are on *)
   mutable probes : int; (* simulations actually run *)
   mutable lookups : int; (* total evaluations requested *)
   mutable compile_errors : int; (* non-memoized compile failures *)
@@ -49,15 +64,46 @@ type t = {
   mutable oversize_rejects : int; (* non-memoized too-large rejections *)
   mutable racy_rejects : int; (* non-memoized race-screen rejections *)
   mutable runtime_races : int; (* dynamic races across non-memoized sims *)
+  mutable semantic_hits : int; (* lookups served by the semantic lane *)
+  mutable dead_edit_skips : int; (* lookups served by the dead-edit lane *)
+  mutable lane_seconds : float; (* wall time spent deciding the lanes *)
 }
 
+let key_of (candidate : Verilog.Ast.module_decl) : string =
+  Verilog.Ast_utils.structural_hash candidate
+
+(* The semantic/dead-edit facts are computed against the target module's
+   declaration-default parameters, so a design that instantiates the
+   target with `#(...)` overrides anywhere invalidates them. *)
+let target_param_overridden (problem : Problem.t) : bool =
+  List.exists
+    (fun (m : Verilog.Ast.module_decl) ->
+      List.exists
+        (fun (it : Verilog.Ast.item) ->
+          match it.it with
+          | Verilog.Ast.Instance { mod_name; params; _ } ->
+              String.equal mod_name problem.target && params <> []
+          | _ -> false)
+        m.items)
+    problem.design
+
 let create (cfg : Config.t) (problem : Problem.t) : t =
+  let target = Problem.target_module problem in
+  let lanes_enabled =
+    cfg.prune && (not cfg.check_races)
+    && not (target_param_overridden problem)
+  in
   {
     problem;
     cfg;
-    original_size =
-      Verilog.Ast_utils.module_size (Problem.target_module problem);
+    original_size = Verilog.Ast_utils.module_size target;
     cache = Hashtbl.create 256;
+    sem_tbl = Hashtbl.create 256;
+    lanes_enabled;
+    seed_key = key_of target;
+    seed_prune_hash =
+      (if lanes_enabled then Some (Verilog.Dataflow.prune_hash target)
+       else None);
     probes = 0;
     lookups = 0;
     compile_errors = 0;
@@ -65,15 +111,15 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     oversize_rejects = 0;
     racy_rejects = 0;
     runtime_races = 0;
+    semantic_hits = 0;
+    dead_edit_skips = 0;
+    lane_seconds = 0.;
   }
 
 (* Bloated candidates (runaway insertion growth) are rejected outright,
    like mutants that fail to compile. *)
 let oversize (ev : t) (candidate : Verilog.Ast.module_decl) : bool =
   Verilog.Ast_utils.module_size candidate > (20 * ev.original_size) + 512
-
-let key_of (candidate : Verilog.Ast.module_decl) : string =
-  Verilog.Ast_utils.structural_hash candidate
 
 let oversize_outcome =
   { fitness = 0.; trace = []; status = Rejected_oversize; races = 0 }
@@ -93,6 +139,8 @@ let m_rejected_static = Obs.Metrics.counter "eval.rejected_static"
 let m_rejected_oversize = Obs.Metrics.counter "eval.rejected_oversize"
 let m_rejected_racy = Obs.Metrics.counter "eval.rejected_racy"
 let m_runtime_races = Obs.Metrics.counter "eval.runtime_races"
+let m_semantic_hits = Obs.Metrics.counter "eval.semantic_hits"
+let m_dead_edit_skips = Obs.Metrics.counter "eval.dead_edit_skips"
 
 let status_label = function
   | Simulated -> "simulated"
@@ -101,12 +149,62 @@ let status_label = function
   | Rejected_static _ -> "rejected_static"
   | Rejected_oversize -> "rejected_oversize"
   | Rejected_racy _ -> "rejected_racy"
+  | Skipped_dead_edit -> "skipped_dead_edit"
 
 (* Evaluations requested minus candidates actually scored: how many
-   lookups the memo cache absorbed. *)
+   lookups the memo cache absorbed. Static-lane hits (semantic folds and
+   dead-edit skips) are counted under their own statistics, not here. *)
 let memo_hits (ev : t) : int =
   ev.lookups
-  - (ev.probes + ev.static_rejects + ev.oversize_rejects + ev.racy_rejects)
+  - (ev.probes + ev.static_rejects + ev.oversize_rejects + ev.racy_rejects
+   + ev.semantic_hits + ev.dead_edit_skips)
+
+(* Elaborate and simulate one candidate — the post-screening tail of
+   [compute_unspanned], also the reference evaluation [cfg.check_pruning]
+   verifies static-lane decisions against. Touches no mutable state. *)
+let simulate_candidate (ev : t) (candidate : Verilog.Ast.module_decl) :
+    outcome =
+  let design = Problem.with_candidate ev.problem candidate in
+  (* Candidates get a budget proportional to the golden run: a mutant
+     spinning in a zero-delay loop is cut off quickly instead of
+     burning the whole per-candidate ceiling. *)
+  let max_steps =
+    min ev.cfg.max_sim_steps ((ev.problem.golden_steps * 10) + 5_000)
+  in
+  let max_time =
+    min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
+  in
+  match
+    Sim.Simulate.run ~max_steps ~max_time ~check_races:ev.cfg.check_races
+      design ev.problem.spec
+  with
+  | Error (Sim.Simulate.Elab_failure msg) ->
+      { fitness = 0.; trace = []; status = Compile_error msg; races = 0 }
+  | Ok r -> (
+      let races = List.length r.races in
+      match r.outcome with
+      | Sim.Engine.Finished | Sim.Engine.Quiescent ->
+          {
+            fitness =
+              Fitness.fitness ~phi:ev.cfg.phi ~expected:ev.problem.oracle
+                ~actual:r.trace;
+            trace = r.trace;
+            status = Simulated;
+            races;
+          }
+      | Sim.Engine.Time_limit_reached ->
+          (* Score whatever trace was produced; a looping mutant is
+             still penalized by its missing samples. *)
+          {
+            fitness =
+              Fitness.fitness ~phi:ev.cfg.phi ~expected:ev.problem.oracle
+                ~actual:r.trace;
+            trace = r.trace;
+            status = Sim_diverged "time limit";
+            races;
+          }
+      | Sim.Engine.Budget_exceeded m ->
+          { fitness = 0.; trace = []; status = Sim_diverged m; races })
 
 (* Score one candidate without touching the cache or any counter. Reads
    only immutable state ([cfg], [problem], [original_size]), so concurrent
@@ -146,48 +244,7 @@ let compute_unspanned (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
         (* Race screening: the candidate module contains a static race
            hazard; rejected without a simulation, under its own count. *)
         { fitness = 0.; trace = []; status = Rejected_racy msg; races = 0 }
-    | None ->
-        let design = Problem.with_candidate ev.problem candidate in
-        (* Candidates get a budget proportional to the golden run: a mutant
-           spinning in a zero-delay loop is cut off quickly instead of
-           burning the whole per-candidate ceiling. *)
-        let max_steps =
-          min ev.cfg.max_sim_steps ((ev.problem.golden_steps * 10) + 5_000)
-        in
-        let max_time =
-          min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
-        in
-        (match
-           Sim.Simulate.run ~max_steps ~max_time
-             ~check_races:ev.cfg.check_races design ev.problem.spec
-         with
-        | Error (Sim.Simulate.Elab_failure msg) ->
-            { fitness = 0.; trace = []; status = Compile_error msg; races = 0 }
-        | Ok r -> (
-            let races = List.length r.races in
-            match r.outcome with
-            | Sim.Engine.Finished | Sim.Engine.Quiescent ->
-                {
-                  fitness =
-                    Fitness.fitness ~phi:ev.cfg.phi
-                      ~expected:ev.problem.oracle ~actual:r.trace;
-                  trace = r.trace;
-                  status = Simulated;
-                  races;
-                }
-            | Sim.Engine.Time_limit_reached ->
-                (* Score whatever trace was produced; a looping mutant is
-                   still penalized by its missing samples. *)
-                {
-                  fitness =
-                    Fitness.fitness ~phi:ev.cfg.phi
-                      ~expected:ev.problem.oracle ~actual:r.trace;
-                  trace = r.trace;
-                  status = Sim_diverged "time limit";
-                  races;
-                }
-            | Sim.Engine.Budget_exceeded m ->
-                { fitness = 0.; trace = []; status = Sim_diverged m; races }))
+    | None -> simulate_candidate ev candidate
   end
 
 (* [compute_unspanned] under a per-candidate trace span carrying the
@@ -210,14 +267,14 @@ let account (ev : t) (o : outcome) =
   ev.runtime_races <- ev.runtime_races + o.races;
   (if Obs.Metrics.enabled () then begin
      if o.races > 0 then Obs.Metrics.add m_runtime_races o.races;
-     Obs.Metrics.incr
-       (match o.status with
-       | Simulated -> m_simulated
-       | Compile_error _ -> m_compile_error
-       | Sim_diverged _ -> m_sim_diverged
-       | Rejected_static _ -> m_rejected_static
-       | Rejected_oversize -> m_rejected_oversize
-       | Rejected_racy _ -> m_rejected_racy)
+     match o.status with
+     | Simulated -> Obs.Metrics.incr m_simulated
+     | Compile_error _ -> Obs.Metrics.incr m_compile_error
+     | Sim_diverged _ -> Obs.Metrics.incr m_sim_diverged
+     | Rejected_static _ -> Obs.Metrics.incr m_rejected_static
+     | Rejected_oversize -> Obs.Metrics.incr m_rejected_oversize
+     | Rejected_racy _ -> Obs.Metrics.incr m_rejected_racy
+     | Skipped_dead_edit -> () (* accounted at the lane site *)
    end);
   match o.status with
   | Rejected_static _ -> ev.static_rejects <- ev.static_rejects + 1
@@ -227,6 +284,137 @@ let account (ev : t) (o : outcome) =
       ev.probes <- ev.probes + 1;
       ev.compile_errors <- ev.compile_errors + 1
   | Simulated | Sim_diverged _ -> ev.probes <- ev.probes + 1
+  | Skipped_dead_edit -> () (* [compute] never produces this status *)
+
+(* --- Static pruning lanes -----------------------------------------------
+
+   On a structural cache miss, two dataflow-derived lanes may still serve
+   the lookup without a simulation:
+
+   - semantic lane: the candidate's canonical form (Verilog.Canon) hashes
+     onto an already-scored candidate's; fitness-equivalence is proved,
+     so the donor's outcome is reused ([semantic_hits]).
+   - dead-edit lane: erasing provably-dead code (Verilog.Dataflow) from
+     the candidate yields the seed module's own erased skeleton, so the
+     edit cannot change behaviour and the seed's fitness is reused under
+     [Skipped_dead_edit] ([dead_edit_skips]).
+
+   Lane decisions are made only on the main domain, sequentially, against
+   monotonically-growing state (sem_tbl, cache) — a hit observed during
+   [prepare] is therefore still a hit at [commit] time, which keeps
+   results identical across [jobs] settings. Outcomes whose status is
+   tied to the candidate's structure, not its semantics (the static and
+   size screens), are never donated through the semantic lane. *)
+
+type lane_probe =
+  | Lane_sem of string * outcome (* semantic hash, donor outcome *)
+  | Lane_dead of string * outcome (* semantic hash, seed outcome *)
+  | Lane_none of string option (* semantic hash, when one was computed *)
+
+let transferable = function
+  | Simulated | Sim_diverged _ | Compile_error _ | Skipped_dead_edit -> true
+  | Rejected_static _ | Rejected_oversize | Rejected_racy _ -> false
+
+(* The two hashes a lane decision needs. Computing them is the lanes'
+   entire cost (two AST walks), so they are computed at most once per
+   candidate — [prepare] passes them through to [commit] — and the
+   prune hash, only needed when the semantic lane misses, is skipped
+   when the semantic table already holds the candidate's hash. *)
+type lane_hashes = {
+  lh_sem : string;
+  lh_prune : string option; (* None when provably not needed *)
+}
+
+(* Main domain only: reads [sem_tbl] and accumulates [lane_seconds]. *)
+let lane_hashes (ev : t) (candidate : Verilog.Ast.module_decl) :
+    lane_hashes option =
+  if (not ev.lanes_enabled) || oversize ev candidate then None
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let sem = Verilog.Canon.semantic_hash candidate in
+    let prune =
+      match ev.seed_prune_hash with
+      | Some _ when not (Hashtbl.mem ev.sem_tbl sem) ->
+          Some (Verilog.Dataflow.prune_hash candidate)
+      | _ -> None
+    in
+    ev.lane_seconds <- ev.lane_seconds +. (Unix.gettimeofday () -. t0);
+    Some { lh_sem = sem; lh_prune = prune }
+  end
+
+(* Read-only lane probe over precomputed hashes: pure table lookups.
+   Callers on the main domain only. *)
+let lane_probe (ev : t) (key : string) (h : lane_hashes option) : lane_probe =
+  match h with
+  | None -> Lane_none None
+  | Some { lh_sem = sem; lh_prune } -> (
+      match Hashtbl.find_opt ev.sem_tbl sem with
+      | Some donor_key -> (
+          match Hashtbl.find_opt ev.cache donor_key with
+          | Some o -> Lane_sem (sem, o)
+          | None -> Lane_none (Some sem))
+      | None -> (
+          match (ev.seed_prune_hash, lh_prune) with
+          | Some sh, Some ph
+            when (not (String.equal key ev.seed_key)) && String.equal ph sh
+            -> (
+              match Hashtbl.find_opt ev.cache ev.seed_key with
+              | Some seed_o
+                when (match seed_o.status with
+                     | Simulated | Sim_diverged _ -> true
+                     | _ -> false) ->
+                  Lane_dead (sem, seed_o)
+              | _ -> Lane_none (Some sem))
+          | _ -> Lane_none (Some sem)))
+
+(* Under [cfg.check_pruning], every lane decision is double-checked
+   against the reference evaluation it claims to predict: the candidate
+   is simulated anyway (bypassing the structural screens — the lanes
+   prove equivalence against the simulator, not the screen heuristics)
+   and the fitness must match exactly. *)
+let verify_lane (ev : t) (candidate : Verilog.Ast.module_decl) ~lane
+    (served : outcome) : unit =
+  if ev.cfg.check_pruning then begin
+    let actual = simulate_candidate ev candidate in
+    if not (Float.equal served.fitness actual.fitness) then
+      failwith
+        (Printf.sprintf
+           "check-pruning: %s lane served fitness %.9f but simulation \
+            scored %.9f (%s)"
+           lane served.fitness actual.fitness (status_label actual.status))
+  end
+
+(* Resolve a structural cache miss: consult the lanes over [hashes], fall
+   back to [fallback] (a fresh or speculative compute). Owns all
+   accounting for the miss; sequential, main domain only. *)
+let resolve_miss (ev : t) (candidate : Verilog.Ast.module_decl)
+    (key : string) ~(hashes : lane_hashes option)
+    (fallback : unit -> outcome) : outcome =
+  let store sem_opt (o : outcome) =
+    Hashtbl.replace ev.cache key o;
+    (match sem_opt with
+    | Some sem when transferable o.status ->
+        if not (Hashtbl.mem ev.sem_tbl sem) then
+          Hashtbl.replace ev.sem_tbl sem key
+    | _ -> ());
+    o
+  in
+  match lane_probe ev key hashes with
+  | Lane_sem (sem, donor) ->
+      ev.semantic_hits <- ev.semantic_hits + 1;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_semantic_hits;
+      verify_lane ev candidate ~lane:"semantic" donor;
+      store (Some sem) donor
+  | Lane_dead (sem, seed_o) ->
+      ev.dead_edit_skips <- ev.dead_edit_skips + 1;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_dead_edit_skips;
+      let o = { seed_o with status = Skipped_dead_edit } in
+      verify_lane ev candidate ~lane:"dead-edit" o;
+      store (Some sem) o
+  | Lane_none sem_opt ->
+      let outcome = fallback () in
+      account ev outcome;
+      store sem_opt outcome
 
 let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
   ev.lookups <- ev.lookups + 1;
@@ -237,10 +425,8 @@ let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
       if Obs.Metrics.enabled () then Obs.Metrics.incr m_memo_hits;
       o
   | None ->
-      let outcome = compute ev candidate in
-      account ev outcome;
-      Hashtbl.replace ev.cache key outcome;
-      outcome
+      resolve_miss ev candidate key ~hashes:(lane_hashes ev candidate)
+        (fun () -> compute ev candidate)
 
 let eval_patch (ev : t) (original : Verilog.Ast.module_decl) (p : Patch.t) :
     outcome =
@@ -262,6 +448,10 @@ type prepared = {
   computed : (string, outcome) Hashtbl.t;
       (* speculative results for keys that were cache misses at prepare
          time; empty on the sequential path *)
+  hashes : (string, lane_hashes option) Hashtbl.t;
+      (* lane hashes computed while screening the batch, so [commit] does
+         not hash the same candidate a second time; empty on the
+         sequential path *)
 }
 
 let prepare (ev : t) ~(pool : Pool.t)
@@ -269,18 +459,28 @@ let prepare (ev : t) ~(pool : Pool.t)
   let t_prep = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   let keys = Array.map key_of candidates in
   let computed = Hashtbl.create (Array.length candidates) in
+  let hashes = Hashtbl.create (Array.length candidates) in
   if Pool.size pool > 1 then begin
     (* First occurrence of each un-cached key gets scored; duplicates and
        cache hits are resolved at commit time, exactly as the sequential
-       path would. *)
+       path would. Keys the static lanes already serve are not scored
+       either: lane state only grows, so a hit probed here is still a hit
+       at commit time (the reverse miss merely wastes a speculation). *)
     let to_run = ref [] in
     Array.iteri
       (fun i key ->
         if
-          (not (Hashtbl.mem ev.cache key)) && not (Hashtbl.mem computed key)
+          (not (Hashtbl.mem ev.cache key))
+          && not (Hashtbl.mem hashes key)
         then begin
-          Hashtbl.replace computed key oversize_outcome (* claimed; overwritten below *);
-          to_run := (key, candidates.(i)) :: !to_run
+          let h = lane_hashes ev candidates.(i) in
+          Hashtbl.replace hashes key h;
+          match lane_probe ev key h with
+          | Lane_sem _ | Lane_dead _ -> ()
+          | Lane_none _ ->
+              Hashtbl.replace computed key oversize_outcome
+                (* claimed; overwritten below *);
+              to_run := (key, candidates.(i)) :: !to_run
         end)
       keys;
     let batch = Array.of_list (List.rev !to_run) in
@@ -297,7 +497,7 @@ let prepare (ev : t) ~(pool : Pool.t)
           ("speculated", Obs.Json.Int (Hashtbl.length computed));
         ]
       ~name:"eval.prepare_batch" t_prep;
-  { ev; candidates; keys; computed }
+  { ev; candidates; keys; computed; hashes }
 
 (* Commit candidate [i]: byte-for-byte the accounting of [eval_module],
    with the simulation replaced by the speculative result when one was
@@ -316,11 +516,12 @@ let commit (p : prepared) (i : int) : outcome =
       if Obs.Metrics.enabled () then Obs.Metrics.incr m_memo_hits;
       o
   | None ->
-      let outcome =
-        match Hashtbl.find_opt p.computed key with
-        | Some o -> o
-        | None -> compute ev p.candidates.(i)
+      let hashes =
+        match Hashtbl.find_opt p.hashes key with
+        | Some h -> h
+        | None -> lane_hashes ev p.candidates.(i)
       in
-      account ev outcome;
-      Hashtbl.replace ev.cache key outcome;
-      outcome
+      resolve_miss ev p.candidates.(i) key ~hashes (fun () ->
+          match Hashtbl.find_opt p.computed key with
+          | Some o -> o
+          | None -> compute ev p.candidates.(i))

@@ -27,6 +27,11 @@ type status =
       (** the static race analyzer ({!Verilog.Race}) found a hazard in the
           candidate module; rejected without simulation when
           [cfg.screen_races] is set *)
+  | Skipped_dead_edit
+      (** the dataflow pruner ({!Verilog.Dataflow}) proved the candidate's
+          edit dead — erasing provably-dead code yields the seed module's
+          own skeleton — so the seed's fitness was reused without
+          simulating *)
 
 type outcome = {
   fitness : float;
@@ -42,6 +47,14 @@ type t = {
   cfg : Config.t;
   original_size : int;
   cache : (string, outcome) Hashtbl.t;
+  sem_tbl : (string, string) Hashtbl.t;
+      (** semantic hash -> structural cache key of the donor candidate *)
+  lanes_enabled : bool;
+      (** static pruning active: [cfg.prune], no runtime race checking,
+          and no parameter overrides on any instance of the target *)
+  seed_key : string;  (** structural key of the unpatched module *)
+  seed_prune_hash : string option;
+      (** dead-edit skeleton hash of the unpatched module, when pruning *)
   mutable probes : int;  (** simulations actually run (cache misses) *)
   mutable lookups : int;  (** evaluations requested *)
   mutable compile_errors : int;
@@ -53,6 +66,15 @@ type t = {
       (** candidates rejected by the static race screen without simulation *)
   mutable runtime_races : int;
       (** dynamic races observed across all non-memoized simulations *)
+  mutable semantic_hits : int;
+      (** lookups served by folding a semantically-equivalent candidate
+          onto an already-scored one, without simulating *)
+  mutable dead_edit_skips : int;
+      (** lookups served by the dead-edit proof (seed fitness reused
+          under {!Skipped_dead_edit}), without simulating *)
+  mutable lane_seconds : float;
+      (** wall-clock time spent deciding the static lanes — the analysis
+          overhead reported by [bench dataflow-prune]; not journaled *)
 }
 
 val create : Config.t -> Problem.t -> t
@@ -61,7 +83,8 @@ val eval_patch : t -> Verilog.Ast.module_decl -> Patch.t -> outcome
 
 (** Evaluations absorbed by the memo cache: [lookups] minus the
     candidates that were actually scored (probes plus every pre-simulation
-    rejection). *)
+    rejection) and minus the static-lane hits, which are counted under
+    [semantic_hits] / [dead_edit_skips]. *)
 val memo_hits : t -> int
 
 (** Short stable label for a status ("simulated", "compile_error", ...),

@@ -47,6 +47,9 @@ type result = {
   oversize_rejects : int; (* mutants rejected for implausible size *)
   racy_rejects : int; (* mutants rejected by the static race screen *)
   runtime_races : int; (* dynamic races observed across all simulations *)
+  semantic_hits : int; (* evaluations folded onto a semantic twin *)
+  dead_edit_skips : int; (* provably-dead edits scored without simulating *)
+  lane_seconds : float; (* time spent inside the static pruning lanes *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
@@ -221,6 +224,8 @@ let journal_generation (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
       ("static_rejects", Obs.Json.Int ev.static_rejects);
       ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
       ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+      ("semantic_hits", Obs.Json.Int ev.semantic_hits);
+      ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
       ("elapsed_s", Obs.Json.Float elapsed);
     ]
 
@@ -305,6 +310,8 @@ let journal_run_end (ev : Evaluate.t) ~(status : string)
        ("static_rejects", Obs.Json.Int ev.static_rejects);
        ("oversize_rejects", Obs.Json.Int ev.oversize_rejects);
        ("racy_rejects", Obs.Json.Int ev.racy_rejects);
+       ("semantic_hits", Obs.Json.Int ev.semantic_hits);
+       ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
        ("runtime_races", Obs.Json.Int ev.runtime_races);
      ]
     @ extra)
@@ -326,7 +333,10 @@ let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
   else (
     let mismatch =
       match parent.outcome.status with
-      | Evaluate.Simulated | Evaluate.Sim_diverged _ ->
+      | Evaluate.Simulated | Evaluate.Sim_diverged _
+      | Evaluate.Skipped_dead_edit ->
+          (* A dead-edit skip carries the seed's trace, which is exactly
+             the candidate's own behaviour (the edit was proved dead). *)
           Fitness.mismatched_signals ~expected:ev.problem.oracle
             ~actual:parent.outcome.trace
       | Evaluate.Compile_error _ | Evaluate.Rejected_static _
@@ -583,6 +593,9 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     oversize_rejects = ev.oversize_rejects;
     racy_rejects = ev.racy_rejects;
     runtime_races = ev.runtime_races;
+    semantic_hits = ev.semantic_hits;
+    dead_edit_skips = ev.dead_edit_skips;
+    lane_seconds = ev.lane_seconds;
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;

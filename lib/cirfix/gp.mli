@@ -32,6 +32,16 @@ type result = {
   runtime_races : int;
       (** dynamic races observed across all candidate simulations
           ([cfg.check_races]) *)
+  semantic_hits : int;
+      (** evaluations folded onto a semantically-equivalent, already-scored
+          candidate ({!Verilog.Canon}) without simulating *)
+  dead_edit_skips : int;
+      (** candidates whose edit was proved dead ({!Verilog.Dataflow}); the
+          seed's fitness was reused without simulating *)
+  lane_seconds : float;
+      (** wall time spent inside the static pruning lanes (canonical and
+          prune hashing plus table probes) — the analysis-overhead figure
+          reported by the [dataflow-prune] bench artifact; not journaled *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)

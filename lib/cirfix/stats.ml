@@ -25,15 +25,41 @@ let races_per_ksim ~races ~probes =
 let percent ~part ~total =
   if total <= 0 then 0. else 100. *. float_of_int part /. float_of_int total
 
-(* Render label/value rows as an aligned two-column table, one row per
-   line, labels padded to the widest. Used for the CLI repair summaries. *)
+(* Render label/value rows as an aligned three-column table, one row per
+   line: labels padded to the widest label, value heads (the text before
+   the first two-space gap, or the whole value) right-aligned to the
+   widest head, and any annotation after the gap in a third column. Both
+   widths are recomputed from the rows themselves, so callers need no
+   fixed-width padding and a label longer than every value — or a count
+   wider than any caller guessed — can never shear the columns. Used for
+   the CLI repair summaries. *)
 let kv_table ?(indent = 2) (rows : (string * string) list) : string =
-  let width =
+  let split v =
+    let n = String.length v in
+    let rec gap i =
+      if i + 1 >= n then None
+      else if v.[i] = ' ' && v.[i + 1] = ' ' then Some i
+      else gap (i + 1)
+    in
+    match gap 0 with
+    | None -> (String.trim v, "")
+    | Some i ->
+        (String.trim (String.sub v 0 i), String.trim (String.sub v i (n - i)))
+  in
+  let rows = List.map (fun (k, v) -> (k, split v)) rows in
+  let label_w =
     List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
   in
+  let head_w =
+    List.fold_left (fun acc (_, (h, _)) -> max acc (String.length h)) 0 rows
+  in
   rows
-  |> List.map (fun (k, v) ->
-         Printf.sprintf "%s%-*s  %s" (String.make indent ' ') width k v)
+  |> List.map (fun (k, (head, annot)) ->
+         let line =
+           Printf.sprintf "%s%-*s  %*s" (String.make indent ' ') label_w k
+             head_w head
+         in
+         if annot = "" then line else line ^ "  " ^ annot)
   |> String.concat "\n"
 
 let median = function

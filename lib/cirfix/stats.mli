@@ -20,8 +20,12 @@ val races_per_ksim : races:int -> probes:int -> float
 (** [percent ~part ~total] as a percentage; 0 when [total] is 0. *)
 val percent : part:int -> total:int -> float
 
-(** Aligned two-column table of label/value rows (labels padded to the
-    widest), one row per line, indented by [indent] (default 2) spaces. *)
+(** Aligned table of label/value rows, one per line, indented by [indent]
+    (default 2) spaces. Labels are padded to the widest label; the value's
+    head (text before its first two-space gap, or the whole value) is
+    right-aligned to the widest head, with any annotation after the gap in
+    a third column. Column widths are recomputed from the rows, so callers
+    pass unpadded values. *)
 val kv_table : ?indent:int -> (string * string) list -> string
 
 (** Ranks (1-based) with ties assigned their average rank. *)

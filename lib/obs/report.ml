@@ -320,6 +320,8 @@ let render_rejects (records : Json.t list) : string =
           ("static rejects", i_of "static_rejects" r);
           ("oversize rejects", i_of "oversize_rejects" r);
           ("racy rejects", i_of "racy_rejects" r);
+          ("semantic-lane hits", i_of "semantic_hits" r);
+          ("dead-edit skips", i_of "dead_edit_skips" r);
         ]
       in
       let pct n =
@@ -335,6 +337,77 @@ let render_rejects (records : Json.t list) : string =
              (fun (label, n) ->
                [ html_escape label; string_of_int n; pct n ])
              rows)
+
+(* Static pruning: simulations the dataflow lanes avoided ([run_end]
+   totals) and the per-generation hit rates — each generation record
+   carries the cumulative lane counters, so the rate is hits over
+   lookups at that point in the run. *)
+let render_pruning (records : Json.t list) : string =
+  match last_of_type "run_end" records with
+  | None -> missing "run_end"
+  | Some r ->
+      let sem = i_of "semantic_hits" r in
+      let dead = i_of "dead_edit_skips" r in
+      let evals = i_of "evals" r in
+      let pct n =
+        if evals = 0 then "&mdash;"
+        else f2 (100. *. float_of_int n /. float_of_int evals) ^ "%"
+      in
+      let summary =
+        Printf.sprintf
+          "<p><b>%d</b> simulations avoided statically (%s of %d \
+           evaluations requested)</p>\n"
+          (sem + dead)
+          (pct (sem + dead))
+          evals
+        ^ table
+            [ "lane"; "count"; "% of evals" ]
+            [
+              [ "semantic fold"; string_of_int sem; pct sem ];
+              [ "dead-edit skip"; string_of_int dead; pct dead ];
+            ]
+      in
+      let gens = of_type "generation" records in
+      let chart =
+        if gens = [] then ""
+        else
+          let rate k g =
+            let lookups = i_of "lookups" g in
+            if lookups = 0 then 0.
+            else 100. *. float_of_int (i_of k g) /. float_of_int lookups
+          in
+          svg_chart ~x_label:"generation (cumulative hit rate, %)"
+            ~x_min:
+              (match gens with
+              | g :: _ -> float_of_int (i_of "gen" g)
+              | [] -> 0.)
+            ~x_max:
+              (List.fold_left
+                 (fun m g -> Float.max m (float_of_int (i_of "gen" g)))
+                 1. gens)
+            ~y_max:100.
+            [
+              {
+                s_label = "semantic";
+                s_color = "#2166ac";
+                s_points =
+                  List.map
+                    (fun g ->
+                      (float_of_int (i_of "gen" g), rate "semantic_hits" g))
+                    gens;
+              };
+              {
+                s_label = "dead-edit";
+                s_color = "#b2182b";
+                s_points =
+                  List.map
+                    (fun g ->
+                      (float_of_int (i_of "gen" g), rate "dead_edit_skips" g))
+                    gens;
+              };
+            ]
+      in
+      summary ^ chart
 
 (* Per-signal attribution: the seed design (gen 0) next to the best
    candidate of the last journaled generation — which signals improved,
@@ -590,6 +663,7 @@ let render ?(metrics : Json.t option) (records : Json.t list) : string =
   section buf "Fitness" (render_fitness records);
   section buf "Diversity" (render_diversity records);
   section buf "Evaluation breakdown" (render_rejects records);
+  section buf "Static pruning" (render_pruning records);
   section buf "Per-signal attribution" (render_attribution records);
   section buf "Fault localization" (render_localization records);
   section buf "Patch lineage" (render_lineage records);

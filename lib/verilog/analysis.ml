@@ -422,9 +422,9 @@ let reads (g : graph) : Names.t = g.g_reads
 
 (* --- Checks ------------------------------------------------------------- *)
 
-type check = Comb_loop | Uninit_reg | Width | Const_cond
+type check = Comb_loop | Uninit_reg | Width | Const_cond | Dataflow_facts
 
-let all_checks = [ Comb_loop; Uninit_reg; Width; Const_cond ]
+let all_checks = [ Comb_loop; Uninit_reg; Width; Const_cond; Dataflow_facts ]
 
 let finding = Lint.finding
 
@@ -649,53 +649,19 @@ let check_width ?design ~modname (m : module_decl) (g : graph) :
     m.items;
   List.rev !acc
 
-(* Constant conditions: control decided at elaboration time, leaving a
-   branch (or loop body) unreachable. *)
-let check_const_cond ~modname (m : module_decl) (g : graph) : Lint.finding list
-    =
-  let env = g.g_env in
-  let acc = ref [] in
-  let flag node what v =
-    acc :=
-      finding Lint.Warning "constant-condition" ~modname node
-        "%s is constantly %s: a branch is unreachable" what
-        (if v = 0 then "false" else "true")
-      :: !acc
-  in
-  let check_stmt (s : stmt) =
-    match s.s with
-    | If (c, _, _) -> (
-        match const_eval env c with
-        | Some v -> flag s.sid "if condition" v
-        | None -> ())
-    | While (c, _) -> (
-        match const_eval env c with
-        | Some v -> flag s.sid "while condition" v
-        | None -> ())
-    | CaseStmt (_, subject, _, _) -> (
-        match const_eval env subject with
-        | Some _ ->
-            acc :=
-              finding Lint.Warning "constant-condition" ~modname s.sid
-                "case subject is constant: all but one arm are unreachable"
-              :: !acc
-        | None -> ())
-    | _ -> ()
-  in
-  let check_expr (e : expr) =
-    match e.e with
-    | Cond (c, _, _) -> (
-        match const_eval env c with
-        | Some v -> flag e.eid "conditional-expression test" v
-        | None -> ())
-    | _ -> ()
-  in
-  ignore
-    (Ast_utils.fold_module
-       (fun () s -> check_stmt s)
-       (fun () e -> check_expr e)
-       () m);
-  List.rev !acc
+(* Constant conditions: control decided before simulation, leaving a
+   branch (or loop body) unreachable. Subsumed by the dataflow fixpoint
+   (PR 6): same stable rule id, but conditions over nets with constant
+   drivers — not just parameters and literals — are proved too. *)
+let check_const_cond ~modname (m : module_decl) (_g : graph) :
+    Lint.finding list =
+  Dataflow.const_cond_findings ~modname m
+
+(* The remaining dataflow rules: constant nets, x sources, unreachable
+   case arms and dead assignments. *)
+let check_dataflow ~modname (m : module_decl) (_g : graph) :
+    Lint.finding list =
+  Dataflow.extra_findings ~modname m
 
 let check_module ?design ?(checks = all_checks) (m : module_decl) :
     Lint.finding list =
@@ -706,7 +672,8 @@ let check_module ?design ?(checks = all_checks) (m : module_decl) :
       | Comb_loop -> check_comb_loop ~modname g
       | Uninit_reg -> check_uninit_reg ~modname m g
       | Width -> check_width ?design ~modname m g
-      | Const_cond -> check_const_cond ~modname m g)
+      | Const_cond -> check_const_cond ~modname m g
+      | Dataflow_facts -> check_dataflow ~modname m g)
     checks
 
 let check_design (d : design) : (string * Lint.finding list) list =

@@ -55,7 +55,12 @@ type check =
           widths, using [logic4] vector widths — severity [Warning] *)
   | Const_cond
       (** statically-decided conditions (if / ?: / while / case subjects),
-          making a branch unreachable — severity [Warning] *)
+          making a branch unreachable — proved by the {!Dataflow} known-bits
+          fixpoint since PR 6 — severity [Warning] *)
+  | Dataflow_facts
+      (** the remaining dataflow rules: constant-net, x-source,
+          unreachable-code (case arms) and dead-assignment — severity
+          [Warning] *)
 
 val all_checks : check list
 

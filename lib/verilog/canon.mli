@@ -1,0 +1,19 @@
+(* Semantic canonicalization: constant folding with logic4 semantics,
+   parameter substitution, De Morgan normalization and commutative
+   operand ordering over expressions — statements are never restructured
+   (the simulator charges budget ticks per executed statement, and the
+   hash promises identical simulations).
+
+   [semantic_hash] refines [Ast_utils.structural_hash]: equal semantic
+   hashes imply fitness-equivalent simulations, provided the module is
+   not instantiated with parameter overrides (the caller gates on
+   that — parameter substitution uses declaration defaults). *)
+
+(* Canonicalize one expression. [drop_ok] permits identifier-dropping
+   rewrites (constant `?:` selection, equal-arm `?:`, `&&`/`||`
+   absorption); pass false for modules containing `@*` processes, whose
+   sensitivity is derived from body text. *)
+val canon_expr : Dataflow.denv -> drop_ok:bool -> Ast.expr -> Ast.expr
+
+val canon_module : Ast.module_decl -> Ast.module_decl
+val semantic_hash : Ast.module_decl -> string

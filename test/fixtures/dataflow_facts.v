@@ -1,0 +1,23 @@
+// Exercises every dataflow-derived analyze rule in one module, in a
+// pinned order (the golden diff in test/dune): constant-condition,
+// constant-net, x-source, unreachable case arm, dead assignment.
+module dataflow_facts(input wire clk, input wire in, output reg out);
+  parameter MODE = 0;
+
+  wire tied = 1'b1;          // constant net (known bits 1)
+  wire xsrc = 1'bx;          // driven but definitely x: x-source
+  reg  dbg;                  // written, never read: dead assignments
+  reg  state;
+
+  always @(posedge clk) begin
+    dbg <= in;               // dead assignment (dbg never read)
+    if (MODE > 0)            // constant condition: parameter-decided
+      state <= 1'b0;
+    else
+      state <= in;
+    case (tied)              // constant subject
+      1'b0: out <= xsrc;     // unreachable arm (and the x-source read)
+      1'b1: out <= state;
+    endcase
+  end
+endmodule

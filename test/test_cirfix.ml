@@ -393,6 +393,31 @@ let test_stats_descriptive () =
   Alcotest.(check bool) "stddev" true
     (abs_float (Cirfix.Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] -. 2.138) < 0.01)
 
+let test_stats_kv_table () =
+  (* Column widths are recomputed from the rows: a label longer than every
+     value column (here the lane counters) must not shear the alignment,
+     and annotations after a two-space gap form a third column. *)
+  let rows =
+    [
+      ("probes", "26");
+      ("memo hits", "35  (57.4% of evals)");
+      ("semantic hits", "4  (6.6% of evals)");
+      ("dead-edit skips", "117  (19.2% of evals)");
+    ]
+  in
+  let t = Cirfix.Stats.kv_table rows in
+  Alcotest.(check string) "widths recomputed"
+    ("  probes            26\n"
+   ^ "  memo hits         35  (57.4% of evals)\n"
+   ^ "  semantic hits      4  (6.6% of evals)\n"
+   ^ "  dead-edit skips  117  (19.2% of evals)")
+    t;
+  (* Degenerate shapes: single row, and a label longer than any value. *)
+  Alcotest.(check string) "single row" "  a  1" (Cirfix.Stats.kv_table [ ("a", "1") ]);
+  Alcotest.(check string) "long label"
+    "  a-very-long-counter-name  7"
+    (Cirfix.Stats.kv_table [ ("a-very-long-counter-name", "7") ])
+
 let test_stats_ranks () =
   let r = Cirfix.Stats.ranks [| 10.; 20.; 20.; 30. |] in
   Alcotest.(check (array (float 1e-9))) "tied ranks" [| 1.; 2.5; 2.5; 4. |] r
@@ -701,6 +726,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "descriptive" `Quick test_stats_descriptive;
+          Alcotest.test_case "kv table alignment" `Quick test_stats_kv_table;
           Alcotest.test_case "ranks" `Quick test_stats_ranks;
           Alcotest.test_case "mann-whitney" `Quick test_stats_mwu;
         ] );

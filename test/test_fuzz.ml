@@ -138,6 +138,179 @@ let test_random_sources_lex_or_fail_cleanly () =
     | Ok _ | Error _ -> ()
   done
 
+(* --- Canonicalizer differential fuzz ------------------------------------
+
+   [Canon.canon_expr] promises semantic equality: the canonical form must
+   evaluate bit-identically to the original under the concrete evaluator,
+   on every state — including states carrying x and z bits, where most
+   classical identities (a&a=a, a|0=a, ...) are unsound and deliberately
+   omitted. We drive both through [Sim.Eval.eval] over random expressions
+   and random 4-valued variable assignments. *)
+
+let fuzz_env_src =
+  "module fuzz_env(a, b, c, d);\n\
+  \  parameter P = 5;\n\
+  \  input [3:0] a;\n\
+  \  input [3:0] b;\n\
+  \  input c;\n\
+  \  input [7:0] d;\n\
+  \  wire [3:0] a;\n\
+  \  wire [3:0] b;\n\
+  \  wire c;\n\
+  \  wire [7:0] d;\n\
+   endmodule\n"
+
+let fuzz_env_module () =
+  match Verilog.Parser.parse_design_result fuzz_env_src with
+  | Ok [ m ] -> m
+  | _ -> Alcotest.fail "fuzz_env fixture failed to parse"
+
+let idents = [ ("a", 4); ("b", 4); ("c", 1); ("d", 8) ]
+
+let random_bit rng =
+  match Random.State.int rng 6 with
+  | 0 | 1 -> Logic4.Bit.V0
+  | 2 | 3 -> Logic4.Bit.V1
+  | 4 -> Logic4.Bit.X
+  | _ -> Logic4.Bit.Z
+
+let random_vec rng w =
+  Logic4.Vec.of_bits (Array.init w (fun _ -> random_bit rng))
+
+let unops =
+  Verilog.Ast.
+    [ Uplus; Uminus; Unot; Ubnot; Uand; Uor; Uxor; Unand; Unor; Uxnor ]
+
+let binops =
+  Verilog.Ast.
+    [
+      Add; Sub; Mul; Div; Mod; Land; Lor; Band; Bor; Bxor; Bxnor; Eq; Neq;
+      Ceq; Cneq; Lt; Le; Gt; Ge; Shl; Shr;
+    ]
+
+(* Depth-bounded random expression over the fuzz_env nets, the P
+   parameter and 4-valued literals; [Call] is excluded ($time and
+   friends read simulator state the expression-level harness has none
+   of). *)
+let rec random_expr rng depth : Verilog.Ast.expr =
+  let e d = { Verilog.Ast.eid = 0; e = d } in
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 0 ->
+        let name, _ = List.nth idents (Random.State.int rng 4) in
+        e (Verilog.Ast.Ident name)
+    | 1 -> e (Verilog.Ast.Ident "P")
+    | 2 -> e (Verilog.Ast.IntLit (Random.State.int rng 17))
+    | _ ->
+        e (Verilog.Ast.Number (random_vec rng (1 + Random.State.int rng 8)))
+  else
+    let sub () = random_expr rng (depth - 1) in
+    match Random.State.int rng 8 with
+    | 0 | 1 ->
+        e
+          (Verilog.Ast.Unop
+             (List.nth unops (Random.State.int rng (List.length unops)), sub ()))
+    | 2 | 3 | 4 | 5 ->
+        e
+          (Verilog.Ast.Binop
+             ( List.nth binops (Random.State.int rng (List.length binops)),
+               sub (),
+               sub () ))
+    | 6 -> e (Verilog.Ast.Cond (sub (), sub (), sub ()))
+    | _ -> random_expr rng 0
+
+let test_canon_differential () =
+  let m = fuzz_env_module () in
+  let d = Verilog.Dataflow.denv_of m in
+  let p_value =
+    match Verilog.Dataflow.param_value d "P" with
+    | Some v -> v
+    | None -> Alcotest.fail "fuzz_env has no parameter P"
+  in
+  let rng = Random.State.make [| 0xCA40 |] in
+  for _trial = 1 to 2_000 do
+    let e = random_expr rng (1 + Random.State.int rng 4) in
+    let canon = Verilog.Canon.canon_expr d ~drop_ok:(Random.State.bool rng) e in
+    (* One random 4-valued state, shared by both evaluations. *)
+    let st = Sim.Runtime.create () in
+    let sc = Sim.Runtime.scope_create ~path:"fz" ~module_name:"fuzz_env" in
+    Hashtbl.replace sc.Sim.Runtime.sc_bindings "P"
+      (Sim.Runtime.Bconst p_value);
+    List.iter
+      (fun (name, w) ->
+        Hashtbl.replace sc.Sim.Runtime.sc_bindings name
+          (Sim.Runtime.Bvar
+             {
+               Sim.Runtime.v_name = "fz." ^ name;
+               v_local = name;
+               v_kind = Sim.Runtime.Net;
+               v_width = w;
+               v_msb = w - 1;
+               v_lsb = 0;
+               v_is_output = false;
+               v_array = None;
+               v_value = random_vec rng w;
+               v_words = [||];
+               v_waiters = [];
+               v_subscribers = [];
+             }))
+      idents;
+    let show ex = Format.asprintf "%a" Verilog.Pp.pp_expr ex in
+    match
+      (Sim.Eval.eval st sc e, Sim.Eval.eval st sc canon)
+    with
+    | v1, v2 ->
+        if not (Logic4.Vec.equal v1 v2) then
+          Alcotest.failf "canon changed the value of %s\ncanon: %s\n%s <> %s"
+            (show e) (show canon)
+            (Logic4.Vec.to_string v1)
+            (Logic4.Vec.to_string v2)
+    | exception exn1 -> (
+        (* The original faults (division by zero state is a value in
+           logic4, so faults here are width overflows and the like): the
+           canonical form must fault identically — canonicalization never
+           erases a potentially-faulting subterm. *)
+        match Sim.Eval.eval st sc canon with
+        | _ ->
+            Alcotest.failf "original faults (%s) but canon %s evaluates"
+              (Printexc.to_string exn1) (show canon)
+        | exception _ -> ())
+  done
+
+(* Equal semantic hashes must mean equal canonical modules — the hash is
+   a proxy the evaluator trusts, so a collision between genuinely
+   different canonical forms would silently conflate two candidates'
+   fitness. Checked over random single-assign modules (where random
+   expression pairs collide often, since canonicalization folds most of
+   them to constants). *)
+let test_semantic_hash_collision_free () =
+  let rng = Random.State.make [| 0x5EED |] in
+  let mk_module e : Verilog.Ast.module_decl =
+    let m = fuzz_env_module () in
+    let assign =
+      {
+        Verilog.Ast.iid = 0;
+        it =
+          Verilog.Ast.ContAssign [ (Verilog.Ast.LId "d", e) ];
+      }
+    in
+    { m with items = m.items @ [ assign ] }
+  in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 512 in
+  for _trial = 1 to 2_000 do
+    let m = mk_module (random_expr rng (1 + Random.State.int rng 4)) in
+    let h = Verilog.Canon.semantic_hash m in
+    let canon_printed =
+      Verilog.Pp.design_to_string [ Verilog.Canon.canon_module m ]
+    in
+    match Hashtbl.find_opt seen h with
+    | None -> Hashtbl.replace seen h canon_printed
+    | Some prior ->
+        Alcotest.(check string)
+          "semantic hash collides only on equal canonical forms" prior
+          canon_printed
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -149,5 +322,12 @@ let () =
           Alcotest.test_case "minimize" `Quick test_minimize_fuzz;
           Alcotest.test_case "lexer robustness" `Quick
             test_random_sources_lex_or_fail_cleanly;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "differential vs simulator" `Slow
+            test_canon_differential;
+          Alcotest.test_case "semantic hash collision-free" `Slow
+            test_semantic_hash_collision_free;
         ] );
     ]
