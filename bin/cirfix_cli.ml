@@ -71,6 +71,26 @@ let target_arg =
 
 let spec_of top clock dut : Sim.Simulate.spec = { top; clock; dut_path = dut }
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("event", Sim.Simulate.Event);
+             ("compiled", Sim.Simulate.Compiled);
+             ("auto", Sim.Simulate.Auto);
+           ])
+        Sim.Simulate.Auto
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Simulation backend: $(b,event) interprets on the event-driven\n\
+           scheduler; $(b,compiled) lowers each design once to a levelized\n\
+           cycle evaluator and reuses it; $(b,auto) (the default) compiles\n\
+           when the design is supported and falls back to the event engine\n\
+           otherwise. Fallbacks are reported, never silent, and both\n\
+           backends produce identical traces and fitness scores.")
+
 (* --- Observability options ----------------------------------------------
 
    Three independent sinks, each enabled by naming an output file. All
@@ -145,8 +165,8 @@ let with_obs ?(detail = false) (trace, metrics, journal) (f : unit -> int) :
 
 (* --- simulate ------------------------------------------------------------- *)
 
-let simulate design testbench top clock dut show_display show_wave vcd_path
-    obs =
+let simulate design testbench top clock dut backend show_display show_wave
+    vcd_path obs =
   (* [detail] turns on per-timestep scheduler counter sampling: a single
      simulation is small enough that the sample volume is welcome. *)
   with_obs ~detail:true obs @@ fun () ->
@@ -167,19 +187,21 @@ let simulate design testbench top clock dut show_display show_wave vcd_path
           Sim.Vcd.to_file vcd path;
           Printf.printf "waveform written to %s\n" path));
   match
-    Sim.Simulate.run_source ~source:(d ^ "\n" ^ tb) (spec_of top clock dut)
+    Sim.Simulate.run_source ~backend ~source:(d ^ "\n" ^ tb)
+      (spec_of top clock dut)
   with
   | Error (Sim.Simulate.Elab_failure m) ->
       Printf.eprintf "elaboration failed: %s\n" m;
       1
   | Ok r ->
-      Printf.printf "outcome: %s (t=%d, %d statements)\n"
+      Printf.printf "outcome: %s (t=%d, %d statements, backend: %s)\n"
         (match r.outcome with
         | Sim.Engine.Finished -> "$finish"
         | Sim.Engine.Quiescent -> "event queue drained"
         | Sim.Engine.Time_limit_reached -> "time limit"
         | Sim.Engine.Budget_exceeded m -> "budget exceeded: " ^ m)
-        r.end_time r.steps;
+        r.end_time r.steps
+        (Sim.Simulate.backend_used_to_string r.backend_used);
       if show_display && r.display <> "" then (
         print_endline "--- $display output ---";
         print_string r.display);
@@ -196,7 +218,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ design_arg $ testbench_arg $ top_arg $ clock_arg
-      $ dut_arg
+      $ dut_arg $ backend_arg
       $ Arg.(value & flag & info [ "display" ] ~doc:"Show \\$display output.")
       $ Arg.(value & flag & info [ "wave" ] ~doc:"Render an ASCII waveform.")
       $ Arg.(
@@ -291,7 +313,8 @@ let jobs_arg =
    relative to total evaluations requested. *)
 let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
     ~mutants ~compile_errors ~static_rejects ~oversize_rejects ~racy_rejects
-    ~runtime_races ~jobs ~wall_seconds =
+    ~runtime_races ~sims_event ~sims_compiled ~compiled_fallbacks
+    ~sim_seconds_event ~sim_seconds_compiled ~jobs ~wall_seconds =
   (* Values are unpadded: [Stats.kv_table] recomputes both column widths
      from the rows, so counts of any magnitude stay aligned. *)
   let count_pct part =
@@ -320,6 +343,19 @@ let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
               (Cirfix.Stats.races_per_ksim ~races ~probes) );
         ]
     | None -> [])
+  (* Per-backend breakdown: counts are jobs-invariant (accounted at
+     commit time); the in-sim rates are timing and vary run to run. *)
+  @ [
+      ( "sims (event)",
+        Printf.sprintf "%d  (%.1f sims/sec in-sim)" sims_event
+          (Cirfix.Stats.sims_per_sec ~probes:sims_event
+             ~wall_seconds:sim_seconds_event) );
+      ( "sims (compiled)",
+        Printf.sprintf "%d  (%.1f sims/sec in-sim)" sims_compiled
+          (Cirfix.Stats.sims_per_sec ~probes:sims_compiled
+             ~wall_seconds:sim_seconds_compiled) );
+      ("compiled fallbacks", Printf.sprintf "%d" compiled_fallbacks);
+    ]
   @ [
       ( "throughput",
         Printf.sprintf "%.1f  sims/sec (jobs=%d)"
@@ -329,7 +365,7 @@ let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
     ]
 
 let repair design golden testbench target top clock dut seed pop_size
-    generations max_probes wall jobs race_screen race_check no_prune
+    generations max_probes wall jobs backend race_screen race_check no_prune
     check_pruning output obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
@@ -348,6 +384,7 @@ let repair design golden testbench target top clock dut seed pop_size
       max_probes;
       max_wall_seconds = wall;
       jobs;
+      backend;
       screen_races = race_screen;
       check_races = race_check;
       prune = not no_prune;
@@ -369,7 +406,11 @@ let repair design golden testbench target top clock dut seed pop_size
           ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
           ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
           ~runtime_races:(if race_check then Some r.runtime_races else None)
-          ~jobs:cfg.jobs ~wall_seconds:r.wall_seconds));
+          ~sims_event:r.sims_event ~sims_compiled:r.sims_compiled
+          ~compiled_fallbacks:r.compiled_fallbacks
+          ~sim_seconds_event:r.sim_seconds_event
+          ~sim_seconds_compiled:r.sim_seconds_compiled ~jobs:cfg.jobs
+          ~wall_seconds:r.wall_seconds));
   (* Replay the final design (repaired when found, else the faulty
      original) under the repair testbench with coverage enabled, so the
      summary reports how much of the target the oracle actually
@@ -427,7 +468,7 @@ let repair_cmd =
       $ Arg.(value & opt int 40 & info [ "generations" ] ~doc:"Max generations.")
       $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
       $ Arg.(value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
-      $ jobs_arg
+      $ jobs_arg $ backend_arg
       $ Arg.(
           value & flag
           & info [ "race-screen" ]
@@ -466,7 +507,7 @@ let repair_cmd =
 (* --- brute ------------------------------------------------------------------ *)
 
 let brute design golden testbench target top clock dut max_depth max_probes
-    wall jobs race_screen no_prune check_pruning obs =
+    wall jobs backend race_screen no_prune check_pruning obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -481,6 +522,7 @@ let brute design golden testbench target top clock dut max_depth max_probes
       max_probes;
       max_wall_seconds = wall;
       jobs;
+      backend;
       screen_races = race_screen;
       prune = not no_prune;
       check_pruning;
@@ -496,7 +538,12 @@ let brute design golden testbench target top clock dut max_depth max_probes
           ~dead_edit_skips:r.dead_edit_skips ~mutants:None
           ~compile_errors:r.compile_errors ~static_rejects:r.static_rejects
           ~oversize_rejects:r.oversize_rejects ~racy_rejects:r.racy_rejects
-          ~runtime_races:None ~jobs:cfg.jobs ~wall_seconds:r.wall_seconds));
+          ~runtime_races:None ~sims_event:r.sims_event
+          ~sims_compiled:r.sims_compiled
+          ~compiled_fallbacks:r.compiled_fallbacks
+          ~sim_seconds_event:r.sim_seconds_event
+          ~sim_seconds_compiled:r.sim_seconds_compiled ~jobs:cfg.jobs
+          ~wall_seconds:r.wall_seconds));
   match r.repaired with
   | Some patch ->
       Printf.printf "REPAIRED (%d edits):\n  %s\n" (List.length patch)
@@ -522,7 +569,7 @@ let brute_cmd =
       $ Arg.(value & opt int 8000 & info [ "max-probes" ] ~doc:"Fitness budget.")
       $ Arg.(
           value & opt float 120.0 & info [ "wall" ] ~doc:"Wall-clock bound (s).")
-      $ jobs_arg
+      $ jobs_arg $ backend_arg
       $ Arg.(
           value & flag
           & info [ "race-screen" ]

@@ -21,6 +21,9 @@ type trial_summary = {
   runtime_races : int; (* dynamic races observed, across all trials *)
   semantic_hits : int; (* semantic-lane folds, across all trials *)
   dead_edit_skips : int; (* dead-edit skips, across all trials *)
+  sims_event : int; (* event-engine simulations, across all trials *)
+  sims_compiled : int; (* compiled-backend simulations, across all trials *)
+  compiled_fallbacks : int; (* compiled->event fallbacks, across all trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -35,7 +38,8 @@ type trial_summary = {
 let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
     : trial_summary =
   let rec go seed ~total_probes ~total_statics ~total_oversize ~total_racy
-      ~total_races ~total_sem ~total_dead ~total_seconds ~initial_fitness =
+      ~total_races ~total_sem ~total_dead ~total_sims_event
+      ~total_sims_compiled ~total_fallbacks ~total_seconds ~initial_fitness =
     function
     | [] ->
         {
@@ -51,6 +55,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
           runtime_races = total_races;
           semantic_hits = total_sem;
           dead_edit_skips = total_dead;
+          sims_event = total_sims_event;
+          sims_compiled = total_sims_compiled;
+          compiled_fallbacks = total_fallbacks;
           edits = 0;
           trials_run = trials;
           winning_seed = None;
@@ -67,6 +74,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
         let total_races = total_races + r.runtime_races in
         let total_sem = total_sem + r.semantic_hits in
         let total_dead = total_dead + r.dead_edit_skips in
+        let total_sims_event = total_sims_event + r.sims_event in
+        let total_sims_compiled = total_sims_compiled + r.sims_compiled in
+        let total_fallbacks = total_fallbacks + r.compiled_fallbacks in
         let total_seconds = total_seconds +. r.wall_seconds in
         match (r.minimized, r.repaired_module) with
         | Some patch, Some m ->
@@ -83,6 +93,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
               runtime_races = total_races;
               semantic_hits = total_sem;
               dead_edit_skips = total_dead;
+              sims_event = total_sims_event;
+              sims_compiled = total_sims_compiled;
+              compiled_fallbacks = total_fallbacks;
               edits = List.length patch;
               trials_run = seed;
               winning_seed = Some seed;
@@ -93,11 +106,13 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
             }
         | _ ->
             go (seed + 1) ~total_probes ~total_statics ~total_oversize
-              ~total_racy ~total_races ~total_sem ~total_dead ~total_seconds
-              ~initial_fitness:r.initial_fitness rest)
+              ~total_racy ~total_races ~total_sem ~total_dead
+              ~total_sims_event ~total_sims_compiled ~total_fallbacks
+              ~total_seconds ~initial_fitness:r.initial_fitness rest)
   in
   go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_racy:0
-    ~total_races:0 ~total_sem:0 ~total_dead:0 ~total_seconds:0.
+    ~total_races:0 ~total_sem:0 ~total_dead:0 ~total_sims_event:0
+    ~total_sims_compiled:0 ~total_fallbacks:0 ~total_seconds:0.
     ~initial_fitness:0. results
 
 (* [pool]: when given (and wider than one domain), all [trials] seeds run

@@ -16,6 +16,11 @@ type result = {
   racy_rejects : int; (* candidates rejected by the static race screen *)
   semantic_hits : int; (* evaluations folded onto a semantic twin *)
   dead_edit_skips : int; (* provably-dead edits scored without simulating *)
+  sims_event : int; (* simulations that ran on the event engine *)
+  sims_compiled : int; (* simulations that ran on the compiled backend *)
+  compiled_fallbacks : int; (* compiled requests that fell back to event *)
+  sim_seconds_event : float; (* in-simulator wall time, event engine *)
+  sim_seconds_compiled : float; (* in-simulator wall time, compiled *)
   wall_seconds : float;
   candidates_tried : int;
 }
@@ -203,6 +208,9 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
         ("semantic_hits", Obs.Json.Int ev.semantic_hits);
         ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
         ("runtime_races", Obs.Json.Int ev.runtime_races);
+        ("sims_event", Obs.Json.Int ev.sims_event);
+        ("sims_compiled", Obs.Json.Int ev.sims_compiled);
+        ("compiled_fallbacks", Obs.Json.Int ev.compiled_fallbacks);
         ("tried", Obs.Json.Int !tried);
       ]
   end;
@@ -217,6 +225,11 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     racy_rejects = ev.racy_rejects;
     semantic_hits = ev.semantic_hits;
     dead_edit_skips = ev.dead_edit_skips;
+    sims_event = ev.sims_event;
+    sims_compiled = ev.sims_compiled;
+    compiled_fallbacks = ev.compiled_fallbacks;
+    sim_seconds_event = ev.sim_seconds_event;
+    sim_seconds_compiled = ev.sim_seconds_compiled;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
   }

@@ -20,6 +20,18 @@ type result = {
   dead_edit_skips : int;
       (** candidates whose edit was proved dead; seed fitness reused
           without simulating *)
+  sims_event : int;
+      (** simulations that ran on the event engine, including fallbacks
+          from a requested compilation *)
+  sims_compiled : int;
+      (** simulations that ran on the compiled levelized backend *)
+  compiled_fallbacks : int;
+      (** simulations where compilation was requested but the design fell
+          back to the event engine; a subset of [sims_event] *)
+  sim_seconds_event : float;
+      (** cumulative in-simulator wall time on the event engine (timing) *)
+  sim_seconds_compiled : float;
+      (** cumulative in-simulator wall time compiled (timing) *)
   wall_seconds : float;
   candidates_tried : int;
 }

@@ -50,6 +50,12 @@ type t = {
       (* verification mode: every static-lane decision is double-checked by
          simulating the candidate anyway and asserting fitness equality —
          slow, for differential testing only *)
+  backend : Sim.Simulate.backend;
+      (* simulation backend for candidate scoring: [Event] interprets on
+         the effects scheduler; [Compiled] and [Auto] lower the design to
+         the levelized cycle evaluator, falling back per design to the
+         event engine on designs the compiler rejects (every fallback is
+         recorded in stats and the journal, never silent) *)
 }
 
 (* One evaluation domain per recommended core, minus one for the main
@@ -88,6 +94,7 @@ let default =
     check_races = false;
     prune = true;
     check_pruning = false;
+    backend = Sim.Simulate.Auto;
   }
 
 (* Configuration fields recorded in a repair journal's run header.
@@ -107,6 +114,7 @@ let journal_fields (t : t) : (string * Obs.Json.t) list =
     ("check_races", Obs.Json.Bool t.check_races);
     ("prune", Obs.Json.Bool t.prune);
     ("check_pruning", Obs.Json.Bool t.check_pruning);
+    ("backend", Obs.Json.Str (Sim.Simulate.backend_to_string t.backend));
   ]
 
 (* The paper's full-scale configuration, for completeness. *)

@@ -39,6 +39,13 @@ type outcome = {
   races : int;
       (* dynamic races observed during this candidate's simulation; 0
          unless [cfg.check_races] and the candidate was simulated *)
+  sim_backend : string;
+      (* which backend actually ran ("event", "compiled", or
+         "fallback:<reason>" per Sim.Simulate.backend_used_to_string);
+         "" when the candidate was never simulated *)
+  sim_seconds : float;
+      (* wall time inside Sim.Simulate.run for this outcome; 0 when never
+         simulated. Timing only — excluded from journals. *)
 }
 
 type t = {
@@ -67,10 +74,22 @@ type t = {
   mutable semantic_hits : int; (* lookups served by the semantic lane *)
   mutable dead_edit_skips : int; (* lookups served by the dead-edit lane *)
   mutable lane_seconds : float; (* wall time spent deciding the lanes *)
+  mutable sims_event : int; (* non-memoized sims run on the event engine *)
+  mutable sims_compiled : int; (* non-memoized sims run compiled *)
+  mutable compiled_fallbacks : int;
+      (* sims where compilation was requested but the design fell back to
+         the event engine (counted under [sims_event] as well) *)
+  mutable sim_seconds_event : float; (* in-sim wall time, event engine *)
+  mutable sim_seconds_compiled : float; (* in-sim wall time, compiled *)
 }
 
-let key_of (candidate : Verilog.Ast.module_decl) : string =
-  Verilog.Ast_utils.structural_hash candidate
+(* Memo keys are prefixed with the configured backend so cached fitness
+   can never leak across backends: flipping [--backend] between otherwise
+   identical runs always re-simulates. *)
+let key_of (cfg : Config.t) (candidate : Verilog.Ast.module_decl) : string =
+  Sim.Simulate.backend_to_string cfg.backend
+  ^ "|"
+  ^ Verilog.Ast_utils.structural_hash candidate
 
 (* The semantic/dead-edit facts are computed against the target module's
    declaration-default parameters, so a design that instantiates the
@@ -100,7 +119,7 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     cache = Hashtbl.create 256;
     sem_tbl = Hashtbl.create 256;
     lanes_enabled;
-    seed_key = key_of target;
+    seed_key = key_of cfg target;
     seed_prune_hash =
       (if lanes_enabled then Some (Verilog.Dataflow.prune_hash target)
        else None);
@@ -114,6 +133,11 @@ let create (cfg : Config.t) (problem : Problem.t) : t =
     semantic_hits = 0;
     dead_edit_skips = 0;
     lane_seconds = 0.;
+    sims_event = 0;
+    sims_compiled = 0;
+    compiled_fallbacks = 0;
+    sim_seconds_event = 0.;
+    sim_seconds_compiled = 0.;
   }
 
 (* Bloated candidates (runaway insertion growth) are rejected outright,
@@ -122,7 +146,14 @@ let oversize (ev : t) (candidate : Verilog.Ast.module_decl) : bool =
   Verilog.Ast_utils.module_size candidate > (20 * ev.original_size) + 512
 
 let oversize_outcome =
-  { fitness = 0.; trace = []; status = Rejected_oversize; races = 0 }
+  {
+    fitness = 0.;
+    trace = [];
+    status = Rejected_oversize;
+    races = 0;
+    sim_backend = "";
+    sim_seconds = 0.;
+  }
 
 (* --- Observability ------------------------------------------------------
    Metric instruments are registered once at module load; recording is
@@ -141,6 +172,9 @@ let m_rejected_racy = Obs.Metrics.counter "eval.rejected_racy"
 let m_runtime_races = Obs.Metrics.counter "eval.runtime_races"
 let m_semantic_hits = Obs.Metrics.counter "eval.semantic_hits"
 let m_dead_edit_skips = Obs.Metrics.counter "eval.dead_edit_skips"
+let m_sims_event = Obs.Metrics.counter "eval.sims_event"
+let m_sims_compiled = Obs.Metrics.counter "eval.sims_compiled"
+let m_compiled_fallbacks = Obs.Metrics.counter "eval.compiled_fallbacks"
 
 let status_label = function
   | Simulated -> "simulated"
@@ -174,13 +208,23 @@ let simulate_candidate (ev : t) (candidate : Verilog.Ast.module_decl) :
   let max_time =
     min ev.cfg.max_sim_time ((ev.problem.golden_end_time * 2) + 1_000)
   in
+  let t0 = Unix.gettimeofday () in
   match
     Sim.Simulate.run ~max_steps ~max_time ~check_races:ev.cfg.check_races
-      design ev.problem.spec
+      ~backend:ev.cfg.backend design ev.problem.spec
   with
   | Error (Sim.Simulate.Elab_failure msg) ->
-      { fitness = 0.; trace = []; status = Compile_error msg; races = 0 }
+      {
+        fitness = 0.;
+        trace = [];
+        status = Compile_error msg;
+        races = 0;
+        sim_backend = "";
+        sim_seconds = 0.;
+      }
   | Ok r -> (
+      let sim_seconds = Unix.gettimeofday () -. t0 in
+      let sim_backend = Sim.Simulate.backend_used_to_string r.backend_used in
       let races = List.length r.races in
       match r.outcome with
       | Sim.Engine.Finished | Sim.Engine.Quiescent ->
@@ -191,6 +235,8 @@ let simulate_candidate (ev : t) (candidate : Verilog.Ast.module_decl) :
             trace = r.trace;
             status = Simulated;
             races;
+            sim_backend;
+            sim_seconds;
           }
       | Sim.Engine.Time_limit_reached ->
           (* Score whatever trace was produced; a looping mutant is
@@ -202,9 +248,18 @@ let simulate_candidate (ev : t) (candidate : Verilog.Ast.module_decl) :
             trace = r.trace;
             status = Sim_diverged "time limit";
             races;
+            sim_backend;
+            sim_seconds;
           }
       | Sim.Engine.Budget_exceeded m ->
-          { fitness = 0.; trace = []; status = Sim_diverged m; races })
+          {
+            fitness = 0.;
+            trace = [];
+            status = Sim_diverged m;
+            races;
+            sim_backend;
+            sim_seconds;
+          })
 
 (* Score one candidate without touching the cache or any counter. Reads
    only immutable state ([cfg], [problem], [original_size]), so concurrent
@@ -237,13 +292,27 @@ let compute_unspanned (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
         (* Pre-simulation screening: the candidate is statically doomed,
            so reject it (scored like a compile error) without spending a
            simulation. *)
-        { fitness = 0.; trace = []; status = Rejected_static msg; races = 0 }
+        {
+          fitness = 0.;
+          trace = [];
+          status = Rejected_static msg;
+          races = 0;
+          sim_backend = "";
+          sim_seconds = 0.;
+        }
     | None ->
     match racy () with
     | Some msg ->
         (* Race screening: the candidate module contains a static race
            hazard; rejected without a simulation, under its own count. *)
-        { fitness = 0.; trace = []; status = Rejected_racy msg; races = 0 }
+        {
+          fitness = 0.;
+          trace = [];
+          status = Rejected_racy msg;
+          races = 0;
+          sim_backend = "";
+          sim_seconds = 0.;
+        }
     | None -> simulate_candidate ev candidate
   end
 
@@ -265,6 +334,26 @@ let compute (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
    mirroring what the sequential path charges per status. *)
 let account (ev : t) (o : outcome) =
   ev.runtime_races <- ev.runtime_races + o.races;
+  (* Per-backend accounting. [sim_backend] is deterministic for a given
+     design (compilation either succeeds or falls back identically on
+     every domain), so these counters stay jobs-invariant like the rest
+     of the commit-time accounting. A fallback run counts as an event
+     simulation AND under [compiled_fallbacks]. *)
+  (if o.sim_backend <> "" then
+     if String.equal o.sim_backend "compiled" then begin
+       ev.sims_compiled <- ev.sims_compiled + 1;
+       ev.sim_seconds_compiled <- ev.sim_seconds_compiled +. o.sim_seconds;
+       if Obs.Metrics.enabled () then Obs.Metrics.incr m_sims_compiled
+     end
+     else begin
+       ev.sims_event <- ev.sims_event + 1;
+       ev.sim_seconds_event <- ev.sim_seconds_event +. o.sim_seconds;
+       if Obs.Metrics.enabled () then Obs.Metrics.incr m_sims_event;
+       if String.starts_with ~prefix:"fallback:" o.sim_backend then begin
+         ev.compiled_fallbacks <- ev.compiled_fallbacks + 1;
+         if Obs.Metrics.enabled () then Obs.Metrics.incr m_compiled_fallbacks
+       end
+     end);
   (if Obs.Metrics.enabled () then begin
      if o.races > 0 then Obs.Metrics.add m_runtime_races o.races;
      match o.status with
@@ -419,7 +508,7 @@ let resolve_miss (ev : t) (candidate : Verilog.Ast.module_decl)
 let eval_module (ev : t) (candidate : Verilog.Ast.module_decl) : outcome =
   ev.lookups <- ev.lookups + 1;
   if Obs.Metrics.enabled () then Obs.Metrics.incr m_lookups;
-  let key = key_of candidate in
+  let key = key_of ev.cfg candidate in
   match Hashtbl.find_opt ev.cache key with
   | Some o ->
       if Obs.Metrics.enabled () then Obs.Metrics.incr m_memo_hits;
@@ -457,7 +546,7 @@ type prepared = {
 let prepare (ev : t) ~(pool : Pool.t)
     (candidates : Verilog.Ast.module_decl array) : prepared =
   let t_prep = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
-  let keys = Array.map key_of candidates in
+  let keys = Array.map (key_of ev.cfg) candidates in
   let computed = Hashtbl.create (Array.length candidates) in
   let hashes = Hashtbl.create (Array.length candidates) in
   if Pool.size pool > 1 then begin

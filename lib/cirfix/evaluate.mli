@@ -40,6 +40,12 @@ type outcome = {
   races : int;
       (** dynamic races observed during the candidate's simulation; 0
           unless [cfg.check_races] and the candidate was simulated *)
+  sim_backend : string;
+      (** which backend actually ran ("event", "compiled", or
+          "fallback:<reason>"); "" when the candidate was never simulated *)
+  sim_seconds : float;
+      (** wall time spent inside the simulator for this outcome; timing
+          only, excluded from journals *)
 }
 
 type t = {
@@ -75,9 +81,28 @@ type t = {
   mutable lane_seconds : float;
       (** wall-clock time spent deciding the static lanes — the analysis
           overhead reported by [bench dataflow-prune]; not journaled *)
+  mutable sims_event : int;
+      (** non-memoized simulations that ran on the event engine (including
+          fallbacks from a requested compilation) *)
+  mutable sims_compiled : int;
+      (** non-memoized simulations that ran on the compiled backend *)
+  mutable compiled_fallbacks : int;
+      (** simulations where compilation was requested but the design fell
+          back to the event engine; a subset of [sims_event] *)
+  mutable sim_seconds_event : float;
+      (** cumulative in-simulator wall time on the event engine; timing
+          only, not journaled *)
+  mutable sim_seconds_compiled : float;
+      (** cumulative in-simulator wall time on the compiled backend;
+          timing only, not journaled *)
 }
 
 val create : Config.t -> Problem.t -> t
+
+(** Memo-cache key for a candidate under a configuration: the configured
+    backend's name prefixed onto the module's structural hash, so cached
+    fitness can never leak between [--backend] settings. *)
+val key_of : Config.t -> Verilog.Ast.module_decl -> string
 val eval_module : t -> Verilog.Ast.module_decl -> outcome
 val eval_patch : t -> Verilog.Ast.module_decl -> Patch.t -> outcome
 

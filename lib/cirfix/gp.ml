@@ -50,6 +50,11 @@ type result = {
   semantic_hits : int; (* evaluations folded onto a semantic twin *)
   dead_edit_skips : int; (* provably-dead edits scored without simulating *)
   lane_seconds : float; (* time spent inside the static pruning lanes *)
+  sims_event : int; (* simulations that ran on the event engine *)
+  sims_compiled : int; (* simulations that ran on the compiled backend *)
+  compiled_fallbacks : int; (* compiled requests that fell back to event *)
+  sim_seconds_event : float; (* in-simulator wall time, event engine *)
+  sim_seconds_compiled : float; (* in-simulator wall time, compiled *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
@@ -313,6 +318,9 @@ let journal_run_end (ev : Evaluate.t) ~(status : string)
        ("semantic_hits", Obs.Json.Int ev.semantic_hits);
        ("dead_edit_skips", Obs.Json.Int ev.dead_edit_skips);
        ("runtime_races", Obs.Json.Int ev.runtime_races);
+       ("sims_event", Obs.Json.Int ev.sims_event);
+       ("sims_compiled", Obs.Json.Int ev.sims_compiled);
+       ("compiled_fallbacks", Obs.Json.Int ev.compiled_fallbacks);
      ]
     @ extra)
 
@@ -596,6 +604,11 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     semantic_hits = ev.semantic_hits;
     dead_edit_skips = ev.dead_edit_skips;
     lane_seconds = ev.lane_seconds;
+    sims_event = ev.sims_event;
+    sims_compiled = ev.sims_compiled;
+    compiled_fallbacks = ev.compiled_fallbacks;
+    sim_seconds_event = ev.sim_seconds_event;
+    sim_seconds_compiled = ev.sim_seconds_compiled;
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;

@@ -42,6 +42,20 @@ type result = {
       (** wall time spent inside the static pruning lanes (canonical and
           prune hashing plus table probes) — the analysis-overhead figure
           reported by the [dataflow-prune] bench artifact; not journaled *)
+  sims_event : int;
+      (** simulations that ran on the event engine, including fallbacks
+          from a requested compilation *)
+  sims_compiled : int;
+      (** simulations that ran on the compiled levelized backend *)
+  compiled_fallbacks : int;
+      (** simulations where compilation was requested but the design fell
+          back to the event engine; a subset of [sims_event] *)
+  sim_seconds_event : float;
+      (** cumulative in-simulator wall time on the event engine (timing:
+          varies run to run, never journaled) *)
+  sim_seconds_compiled : float;
+      (** cumulative in-simulator wall time on the compiled backend
+          (timing: varies run to run, never journaled) *)
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)

@@ -67,7 +67,9 @@ let has_xz v = not (is_fully_defined v)
 
 let resize w v =
   if w <= 0 then invalid_arg "Vec.resize: width must be positive";
-  Array.init w (fun i -> get v i)
+  (* Arrays are immutable after construction, so same-width resize can
+     return the argument itself; this is the hot path of every store. *)
+  if Array.length v = w then v else Array.init w (fun i -> get v i)
 
 let to_bool v =
   if Array.exists (fun b -> b = Bit.V1) v then Some true
@@ -84,7 +86,9 @@ let logxor = map2 Bit.log_xor
 let lognot v = Array.map Bit.log_not v
 
 let reduce f v =
-  let acc = ref v.(0) in
+  (* IEEE treats z as x inside logic ops: a width-1 reduction must not
+     leak a raw z bit (the fold below never produces one). *)
+  let acc = ref (match v.(0) with Bit.Z -> Bit.X | b -> b) in
   for i = 1 to Array.length v - 1 do
     acc := f !acc v.(i)
   done;

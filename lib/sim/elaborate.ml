@@ -13,9 +13,19 @@ type process = {
   pr_kind : proc_kind;
 }
 
+(* Structured description of a combinational binding, used by the compiled
+   backend (Compile) to re-lower the thunk; the event engine only ever runs
+   [cb_eval]. *)
+type comb_desc =
+  | CInit of Runtime.scope * Runtime.var * expr (* decl initializer *)
+  | CAssign of Runtime.scope * lvalue * expr (* continuous assign *)
+  | CPortIn of Runtime.scope * Runtime.var * expr (* parent scope, child var *)
+  | CPortOut of Runtime.scope * lvalue * Runtime.var (* parent lv, child var *)
+
 type comb = {
   cb_eval : unit -> unit; (* re-evaluate and store *)
   cb_support : Runtime.var list; (* change subscription set *)
+  cb_desc : comb_desc;
 }
 
 type elaborated = {
@@ -178,6 +188,7 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
             | Some (lo, hi) -> Array.init (hi - lo + 1) (fun _ -> Vec.all_x width));
           v_waiters = [];
           v_subscribers = [];
+          v_on_waiter_list = false;
         }
       in
       Hashtbl.replace sc.sc_bindings name (Runtime.Bvar v);
@@ -187,7 +198,8 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
       | None -> ()
       | Some e ->
           let thunk () = Runtime.set_var st v (Eval.eval st sc e) in
-          add_comb { cb_eval = thunk; cb_support = expr_support sc e }
+          add_comb
+            { cb_eval = thunk; cb_support = expr_support sc e; cb_desc = CInit (sc, v, e) }
     in
     List.iter (fun n -> make_var n (Hashtbl.find decls n)) (List.rev !decl_order);
 
@@ -213,6 +225,7 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
                     v_words = [||];
                     v_waiters = [];
                     v_subscribers = [];
+          v_on_waiter_list = false;
                   }
                 in
                 Hashtbl.replace sc.sc_bindings name (Runtime.Bvar v);
@@ -227,7 +240,12 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
                       fail "continuous assignment to reg %s" v.v_local)
                   (lvalue_support sc lhs);
                 let thunk () = Eval.assign st sc lhs (Eval.eval st sc rhs) in
-                add_comb { cb_eval = thunk; cb_support = expr_support sc rhs })
+                add_comb
+                  {
+                    cb_eval = thunk;
+                    cb_support = expr_support sc rhs;
+                    cb_desc = CAssign (sc, lhs, rhs);
+                  })
               assigns
         | Always body ->
             procs := { pr_scope = sc; pr_body = body; pr_kind = PAlways } :: !procs
@@ -302,7 +320,12 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
                 let thunk () =
                   Runtime.set_var st inner (Eval.eval st parent e)
                 in
-                add_comb { cb_eval = thunk; cb_support = expr_support parent e }
+                add_comb
+                  {
+                    cb_eval = thunk;
+                    cb_support = expr_support parent e;
+                    cb_desc = CPortIn (parent, inner, e);
+                  }
             | Some Output ->
                 (* Drive the parent net from the child variable. The
                    connection expression must be lvalue-convertible. *)
@@ -319,7 +342,12 @@ let elaborate ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
                       fail "output port %s drives reg %s" port v.v_local)
                   (lvalue_support parent lv);
                 let thunk () = Eval.assign st parent lv inner.v_value in
-                add_comb { cb_eval = thunk; cb_support = [ inner ] }
+                add_comb
+                  {
+                    cb_eval = thunk;
+                    cb_support = [ inner ];
+                    cb_desc = CPortOut (parent, lv, inner);
+                  }
             | Some Inout -> fail "inout ports are not supported (%s)" port
             | None -> fail "%s is not a port of %s" port child_mod.mod_id))
       pairs

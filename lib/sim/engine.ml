@@ -315,7 +315,7 @@ let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
   | WDelay n ->
       Runtime.schedule_at st ~time:(st.now + n) (fun () ->
           Runtime.with_cause st Runtime.Cause_delay resume)
-  | WEvent v -> Runtime.add_waiter v Runtime.Any resume
+  | WEvent v -> Runtime.add_waiter st v Runtime.Any resume
   | WEdges edges ->
       (* The whole group shares one fired flag: a single wake-up per
          suspension, and sibling entries become purgeable immediately. *)
@@ -325,7 +325,7 @@ let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
         (fun ((v : Runtime.var), edge) ->
           if not (Hashtbl.mem seen (v.Runtime.v_name, edge)) then (
             Hashtbl.add seen (v.Runtime.v_name, edge) ();
-            Runtime.add_waiter ~fired v edge resume))
+            Runtime.add_waiter ~fired st v edge resume))
         edges
 
 (* [pid]: race-checker identity. Always processes get distinct ids;

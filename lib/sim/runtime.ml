@@ -33,6 +33,10 @@ type var = {
   (* Persistent subscribers (continuous assignments, always-comb re-eval)
      scheduled on any value change. *)
   mutable v_subscribers : (unit -> unit) list;
+  (* True while this var sits on [state.waiter_vars]; lets the periodic
+     waiter purge touch only vars that ever had a waiter instead of
+     scanning the whole design each timestep. *)
+  mutable v_on_waiter_list : bool;
 }
 
 type binding = Bvar of var | Bconst of Vec.t
@@ -114,8 +118,12 @@ type slot = {
 type state = {
   mutable now : int;
   mutable finished : bool;
-  slots : (int, slot) Hashtbl.t; (* future work keyed by absolute time *)
-  mutable horizon : int list; (* sorted distinct pending times *)
+  (* Future work as a sorted association list of distinct pending times.
+     The list is almost always a handful of entries (the next clock edge,
+     a pending NBA commit, a stimulus timeout), so ordered insertion beats
+     a hash table plus a separately maintained sorted key list, and time
+     advance is a head pop. *)
+  mutable horizon : (int * slot) list;
   current : slot;
   mutable steps : int; (* executed statement budget *)
   mutable max_steps : int;
@@ -126,6 +134,8 @@ type state = {
   mutable race : race_checker option; (* dynamic race log, when enabled *)
   mutable end_of_step_hooks : (state -> unit) list;
   mutable all_vars : var list;
+  mutable waiter_vars : var list; (* vars that may hold stale waiters *)
+  mutable slot_pool : slot list; (* recycled future-time slots *)
   mutable scopes : scope list;
   (* Scheduler observability: cheap per-run counters maintained only when
      [obs_enabled] (set by Simulate when a trace or metrics sink is on),
@@ -142,7 +152,6 @@ let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
   {
     now = 0;
     finished = false;
-    slots = Hashtbl.create 64;
     horizon = [];
     current = { sl_active = Queue.create (); sl_nba = [] };
     steps = 0;
@@ -153,6 +162,8 @@ let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
     race = None;
     end_of_step_hooks = [];
     all_vars = [];
+    waiter_vars = [];
+    slot_pool = [];
     scopes = [];
     obs_enabled = false;
     obs_active_dispatches = 0;
@@ -278,18 +289,31 @@ let cover st sid =
       Hashtbl.replace h sid (1 + Option.value (Hashtbl.find_opt h sid) ~default:0)
 
 let slot_at st t =
-  match Hashtbl.find_opt st.slots t with
-  | Some s -> s
-  | None ->
-      let s = { sl_active = Queue.create (); sl_nba = [] } in
-      Hashtbl.add st.slots t s;
-      (* Insert into the sorted horizon. *)
-      let rec ins = function
-        | [] -> [ t ]
-        | x :: rest as l -> if t < x then t :: l else x :: ins rest
-      in
-      st.horizon <- ins st.horizon;
-      s
+  let fresh () =
+    match st.slot_pool with
+    | s :: rest ->
+        st.slot_pool <- rest;
+        s
+    | [] -> { sl_active = Queue.create (); sl_nba = [] }
+  in
+  (* Find-or-insert in the sorted horizon; the common cases are an exact
+     hit on the first entries or an append at/near the head. *)
+  let rec go l =
+    match l with
+    | ((x, s) :: _) when x = t -> (s, l)
+    | ((x, _) :: _) when x > t ->
+        let s = fresh () in
+        (s, (t, s) :: l)
+    | entry :: rest ->
+        let s, rest' = go rest in
+        (s, entry :: rest')
+    | [] ->
+        let s = fresh () in
+        (s, [ (t, s) ])
+  in
+  let s, h = go st.horizon in
+  st.horizon <- h;
+  s
 
 let schedule_active st thunk = Queue.push thunk st.current.sl_active
 
@@ -298,11 +322,13 @@ let schedule_at st ~time thunk =
   else if time > st.now then Queue.push thunk (slot_at st time).sl_active
   else invalid_arg "schedule_at: past time"
 
+(* NBA thunks are prepended (O(1)) and reversed at flush time, preserving
+   application order without quadratic list append. *)
 let schedule_nba st ~time thunk =
-  if time = st.now then st.current.sl_nba <- st.current.sl_nba @ [ thunk ]
+  if time = st.now then st.current.sl_nba <- thunk :: st.current.sl_nba
   else (
     let s = slot_at st time in
-    s.sl_nba <- s.sl_nba @ [ thunk ])
+    s.sl_nba <- thunk :: s.sl_nba)
 
 (* Edge classification per IEEE 1364: for vectors the LSB is considered.
    posedge: 0->1, 0->x/z, x/z->1; negedge dual. *)
@@ -320,41 +346,45 @@ let set_var st (v : var) (value : Vec.t) =
   note_access st v ~is_write:true;
   if not (Vec.equal v.v_value value) then (
     let old_lsb = Vec.get v.v_value 0 in
-    let new_lsb = Vec.get value 0 in
     v.v_value <- value;
-    let fired_edge = edge_of_transition old_lsb new_lsb in
-    (* Waiters woken by this transition are activated by it: their
-       subsequent accesses carry this cause, so the race checker can tell
-       co-triggered processes (same cause -> racy) from wake-up dataflow. *)
-    let wake_k =
-      match st.race with
-      | None -> fun w -> schedule_active st w.w_k
-      | Some _ ->
-          let cause =
-            Cause_edge
-              (v.v_name, match fired_edge with Some e -> e | None -> Any)
-          in
-          fun w -> schedule_active st (fun () -> with_cause st cause w.w_k)
-    in
-    let matches w =
-      (not !(w.w_fired))
-      &&
-      match (w.w_edge, fired_edge) with
-      | Any, _ -> true
-      | Pos, Some Pos | Neg, Some Neg -> true
-      | _ -> false
-    in
-    let woken, still = List.partition matches v.v_waiters in
-    v.v_waiters <- List.filter (fun w -> not !(w.w_fired)) still;
-    List.iter
-      (fun w ->
-        (* Re-check: two entries of one group can sit on the same signal
-           (e.g. @(load_en or posedge load_en)) and both pass the partition
-           before either sets the shared flag. *)
-        if not !(w.w_fired) then (
-          w.w_fired := true;
-          wake_k w))
-      woken;
+    (match v.v_waiters with
+    | [] -> ()
+    | waiters ->
+        let new_lsb = Vec.get value 0 in
+        let fired_edge = edge_of_transition old_lsb new_lsb in
+        (* Waiters woken by this transition are activated by it: their
+           subsequent accesses carry this cause, so the race checker can
+           tell co-triggered processes (same cause -> racy) from wake-up
+           dataflow. *)
+        let wake_k =
+          match st.race with
+          | None -> fun w -> schedule_active st w.w_k
+          | Some _ ->
+              let cause =
+                Cause_edge
+                  (v.v_name, match fired_edge with Some e -> e | None -> Any)
+              in
+              fun w -> schedule_active st (fun () -> with_cause st cause w.w_k)
+        in
+        let matches w =
+          (not !(w.w_fired))
+          &&
+          match (w.w_edge, fired_edge) with
+          | Any, _ -> true
+          | Pos, Some Pos | Neg, Some Neg -> true
+          | _ -> false
+        in
+        let woken, still = List.partition matches waiters in
+        v.v_waiters <- List.filter (fun w -> not !(w.w_fired)) still;
+        List.iter
+          (fun w ->
+            (* Re-check: two entries of one group can sit on the same
+               signal (e.g. @(load_en or posedge load_en)) and both pass
+               the partition before either sets the shared flag. *)
+            if not !(w.w_fired) then (
+              w.w_fired := true;
+              wake_k w))
+          woken);
     List.iter (fun s -> schedule_active st s) v.v_subscribers)
 
 let set_array_word st (v : var) idx (value : Vec.t) =
@@ -393,16 +423,26 @@ let trigger_event st (v : var) =
         wake_k w))
     woken
 
-let add_waiter ?(fired = ref false) (v : var) edge k =
-  v.v_waiters <- { w_edge = edge; w_fired = fired; w_k = k } :: v.v_waiters
+let add_waiter ?(fired = ref false) st (v : var) edge k =
+  v.v_waiters <- { w_edge = edge; w_fired = fired; w_k = k } :: v.v_waiters;
+  if not v.v_on_waiter_list then begin
+    v.v_on_waiter_list <- true;
+    st.waiter_vars <- v :: st.waiter_vars
+  end
 
-(* Drop waiters whose group already fired elsewhere. *)
+(* Drop waiters whose group already fired elsewhere. Only vars that ever
+   received a waiter are scanned (the list is stable; vars stay on it),
+   and nothing is allocated unless a stale entry actually exists. *)
 let purge_waiters st =
+  let rec stale = function
+    | [] -> false
+    | w :: rest -> !(w.w_fired) || stale rest
+  in
   List.iter
     (fun v ->
-      if v.v_waiters <> [] then
+      if stale v.v_waiters then
         v.v_waiters <- List.filter (fun w -> not !(w.w_fired)) v.v_waiters)
-    st.all_vars
+    st.waiter_vars
 let subscribe (v : var) thunk = v.v_subscribers <- thunk :: v.v_subscribers
 
 (* Map a source-level bit index to a storage index (storage is LSB-first),
@@ -447,12 +487,15 @@ let run_loop st =
               st.obs_nba_dispatches <-
                 st.obs_nba_dispatches + List.length nbas;
             st.current.sl_nba <- [];
-            List.iter run_thunk nbas)
+            List.iter run_thunk (List.rev nbas))
     done;
     purge_waiters st;
     (* Monitor region. *)
-    if not st.finished then
-      List.iter (fun hook -> hook st) (List.rev st.end_of_step_hooks);
+    if not st.finished then (
+      match st.end_of_step_hooks with
+      | [] -> ()
+      | [ hook ] -> hook st
+      | hooks -> List.iter (fun hook -> hook st) (List.rev hooks));
     if st.obs_enabled then begin
       st.obs_timesteps <- st.obs_timesteps + 1;
       (* Detail mode samples the scheduler once per timestep as a Perfetto
@@ -469,15 +512,15 @@ let run_loop st =
     (* Advance time. *)
     match st.horizon with
     | [] -> exhausted := true
-    | t :: rest ->
+    | (t, s) :: rest ->
         if t > st.max_time then exhausted := true
         else (
           st.horizon <- rest;
-          let s = Hashtbl.find st.slots t in
-          Hashtbl.remove st.slots t;
           st.now <- t;
           Queue.transfer s.sl_active st.current.sl_active;
-          st.current.sl_nba <- s.sl_nba)
+          st.current.sl_nba <- s.sl_nba;
+          s.sl_nba <- [];
+          st.slot_pool <- s :: st.slot_pool)
   done
 
 let display st text = Buffer.add_string st.display_log text

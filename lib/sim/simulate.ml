@@ -1,11 +1,43 @@
 (* One-call simulation front end: parse-free API over elaborate + engine +
-   recorder, returning the run outcome, recorded trace, and $display log. *)
+   recorder, returning the run outcome, recorded trace, and $display log.
+
+   Two backends share this entry point.  [Event] interprets the AST on the
+   effects-fiber scheduler.  [Compiled] lowers the elaborated design once
+   (levelized combinational schedule + partially-evaluated processes, see
+   {!Compile}) and reuses the artifact across runs of the same design;
+   designs the compiler rejects (combinational cycles, multiply-driven
+   nets) fall back to the event engine per design, never silently.  [Auto]
+   is [Compiled]-with-fallback and is what the repair loop uses. *)
 
 type spec = {
   top : string; (* testbench module to elaborate *)
   clock : string; (* qualified clock name, e.g. "tb.clk" *)
   dut_path : string; (* qualified DUT instance, e.g. "tb.dut" *)
 }
+
+type backend = Event | Compiled | Auto
+
+let backend_to_string = function
+  | Event -> "event"
+  | Compiled -> "compiled"
+  | Auto -> "auto"
+
+let backend_of_string = function
+  | "event" -> Some Event
+  | "compiled" -> Some Compiled
+  | "auto" -> Some Auto
+  | _ -> None
+
+(* What actually ran, for stats/journal. *)
+type backend_used =
+  | Used_event
+  | Used_compiled
+  | Used_fallback of string (* compiled requested; reverted, with reason *)
+
+let backend_used_to_string = function
+  | Used_event -> "event"
+  | Used_compiled -> "compiled"
+  | Used_fallback reason -> "fallback:" ^ reason
 
 type result = {
   outcome : Engine.outcome;
@@ -15,20 +47,117 @@ type result = {
   steps : int;
   races : Runtime.race_event list;
       (* dynamic race-checker findings; empty unless [check_races] *)
+  backend_used : backend_used;
 }
 
 type error = Elab_failure of string
 
-(* Simulate [design] under [spec]. Elaboration failures (the simulator
-   analogue of a mutant that does not compile) are reported as [Error].
-   [check_races] enables the runtime race checker (see {!Runtime}). *)
-let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
-    ?(check_races = false) (design : Verilog.Ast.design) (spec : spec) :
-    (result, error) Stdlib.result =
-  (* One boolean decides whether the run maintains scheduler counters and
-     emits spans; when no sink is active the only overhead left in the
-     simulator is a per-dispatch branch on [obs_enabled]. *)
-  let obs = Obs.Trace.enabled () || Obs.Metrics.enabled () in
+(* --- Compiled-artifact cache -------------------------------------------- *)
+
+(* Per-domain LRU keyed by the design's structural hash: artifacts hold the
+   shared mutable elaborated state, so they must never cross domains, and
+   Domain.DLS gives each Pool worker its own cache without locks.  Repeat
+   runs of one design (the golden oracle, equivalence sweeps, benchmarks)
+   skip elaboration and compilation entirely. *)
+
+let cache_capacity = 4
+
+type cache_entry = (Compile.artifact, string) Stdlib.result
+
+let artifact_cache : (string * cache_entry) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Hashing the whole AST on every run would dominate short simulations, so
+   the key is memoized per physical design value: repeated runs of the same
+   parsed design (benchmarks, oracle replays, equivalence sweeps) pay the
+   structural hash once. *)
+let design_key_memo : (Verilog.Ast.design * string * string) option ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let design_key (design : Verilog.Ast.design) ~top =
+  let memo = Domain.DLS.get design_key_memo in
+  match !memo with
+  | Some (d, t, key) when d == design && String.equal t top -> key
+  | _ ->
+      let key =
+        top ^ "|"
+        ^ String.concat "+" (List.map Verilog.Ast_utils.structural_hash design)
+      in
+      memo := Some (design, top, key);
+      key
+
+let cache_find key =
+  let cache = Domain.DLS.get artifact_cache in
+  match List.assoc_opt key !cache with
+  | Some entry ->
+      (* Move to front. *)
+      cache := (key, entry) :: List.remove_assoc key !cache;
+      Some entry
+  | None -> None
+
+let cache_add key entry =
+  let cache = Domain.DLS.get artifact_cache in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  cache := take cache_capacity ((key, entry) :: List.remove_assoc key !cache)
+
+(* --- Observability helpers ---------------------------------------------- *)
+
+let obs_enabled () = Obs.Trace.enabled () || Obs.Metrics.enabled ()
+
+let obs_elab_done ~ok ~top t_elab =
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"sim"
+      ~args:
+        (if ok then [ ("top", Obs.Json.Str top) ]
+         else [ ("ok", Obs.Json.Bool false) ])
+      ~name:"sim.elaborate" t_elab
+
+let obs_run_done (st : Runtime.state) t_run =
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"sim"
+      ~args:
+        [
+          ("steps", Obs.Json.Int st.steps);
+          ("end_time", Obs.Json.Int st.now);
+          ("active_dispatches", Obs.Json.Int st.obs_active_dispatches);
+          ("nba_dispatches", Obs.Json.Int st.obs_nba_dispatches);
+          ("timesteps", Obs.Json.Int st.obs_timesteps);
+          ("max_queue", Obs.Json.Int st.obs_max_queue);
+        ]
+      ~name:"sim.run" t_run;
+  if Obs.Metrics.enabled () then begin
+    let wall_ns = Obs.Clock.now_ns () - t_run in
+    Obs.Metrics.observe (Obs.Metrics.histogram "sim.wall_us") (wall_ns / 1000);
+    Obs.Metrics.observe (Obs.Metrics.histogram "sim.steps") st.steps;
+    if st.obs_timesteps > 0 then
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram "sim.events_per_timestep")
+        ((st.obs_active_dispatches + st.obs_nba_dispatches) / st.obs_timesteps);
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram "sim.max_queue_depth")
+      st.obs_max_queue
+  end
+
+let pack_result (st : Runtime.state) recorder outcome backend_used =
+  {
+    outcome;
+    trace = Recorder.trace recorder;
+    display = Buffer.contents st.display_log;
+    end_time = st.now;
+    steps = st.steps;
+    races = Runtime.race_events st;
+    backend_used;
+  }
+
+(* --- Event backend ------------------------------------------------------ *)
+
+let run_event ~max_steps ~max_time ~check_races ~obs design (spec : spec)
+    backend_used : (result, error) Stdlib.result =
   let t_elab = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   match
     (try
@@ -41,73 +170,102 @@ let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
      with Runtime.Elab_error msg -> Error (Elab_failure msg))
   with
   | Error e ->
-      if obs && Obs.Trace.enabled () then
-        Obs.Trace.complete ~cat:"sim"
-          ~args:[ ("ok", Obs.Json.Bool false) ]
-          ~name:"sim.elaborate" t_elab;
+      if obs then obs_elab_done ~ok:false ~top:spec.top t_elab;
       Error e
   | Ok (elab, recorder) -> (
       if obs then begin
         elab.st.obs_enabled <- true;
-        if Obs.Trace.enabled () then
-          Obs.Trace.complete ~cat:"sim"
-            ~args:[ ("top", Obs.Json.Str spec.top) ]
-            ~name:"sim.elaborate" t_elab
+        obs_elab_done ~ok:true ~top:spec.top t_elab
       end;
       let t_run = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
-      let finish_obs () =
-        if obs then begin
-          let st = elab.st in
-          if Obs.Trace.enabled () then
-            Obs.Trace.complete ~cat:"sim"
-              ~args:
-                [
-                  ("steps", Obs.Json.Int st.steps);
-                  ("end_time", Obs.Json.Int st.now);
-                  ("active_dispatches", Obs.Json.Int st.obs_active_dispatches);
-                  ("nba_dispatches", Obs.Json.Int st.obs_nba_dispatches);
-                  ("timesteps", Obs.Json.Int st.obs_timesteps);
-                  ("max_queue", Obs.Json.Int st.obs_max_queue);
-                ]
-              ~name:"sim.run" t_run;
-          if Obs.Metrics.enabled () then begin
-            let wall_ns = Obs.Clock.now_ns () - t_run in
-            Obs.Metrics.observe
-              (Obs.Metrics.histogram "sim.wall_us")
-              (wall_ns / 1000);
-            Obs.Metrics.observe (Obs.Metrics.histogram "sim.steps") st.steps;
-            if st.obs_timesteps > 0 then
-              Obs.Metrics.observe
-                (Obs.Metrics.histogram "sim.events_per_timestep")
-                ((st.obs_active_dispatches + st.obs_nba_dispatches)
-                / st.obs_timesteps);
-            Obs.Metrics.observe
-              (Obs.Metrics.histogram "sim.max_queue_depth")
-              st.obs_max_queue
-          end
-        end
-      in
       (* Runtime scope errors (e.g. a mutant reading an undeclared name
          discovered only when that path executes) also count as failures. *)
       match Engine.run elab with
       | exception Runtime.Elab_error msg ->
-          finish_obs ();
+          if obs then obs_run_done elab.st t_run;
           Error (Elab_failure msg)
       | outcome ->
-          finish_obs ();
-          Ok
-            {
-              outcome;
-              trace = Recorder.trace recorder;
-              display = Buffer.contents elab.st.display_log;
-              end_time = elab.st.now;
-              steps = elab.st.steps;
-              races = Runtime.race_events elab.st;
-            })
+          if obs then obs_run_done elab.st t_run;
+          Ok (pack_result elab.st recorder outcome backend_used))
+
+(* --- Compiled backend --------------------------------------------------- *)
+
+let run_artifact ~max_steps ~max_time ~obs (art : Compile.artifact)
+    (spec : spec) : (result, error) Stdlib.result =
+  let st = art.Compile.a_elab.Elaborate.st in
+  Compile.reset art ~max_steps ~max_time;
+  st.obs_enabled <- obs;
+  match
+    (try
+       Ok (Recorder.attach st ~clock:spec.clock ~instance_path:spec.dut_path)
+     with Runtime.Elab_error msg -> Error (Elab_failure msg))
+  with
+  | Error e -> Error e
+  | Ok recorder -> (
+      let t_run = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+      match Compile.run art with
+      | exception Runtime.Elab_error msg ->
+          if obs then obs_run_done st t_run;
+          Error (Elab_failure msg)
+      | outcome ->
+          if obs then obs_run_done st t_run;
+          Ok (pack_result st recorder outcome Used_compiled))
+
+(* Simulate [design] under [spec]. Elaboration failures (the simulator
+   analogue of a mutant that does not compile) are reported as [Error].
+   [check_races] enables the runtime race checker and forces the event
+   backend (the race instrumentation lives in the interpreter). *)
+let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
+    ?(check_races = false) ?(backend = Event) (design : Verilog.Ast.design)
+    (spec : spec) : (result, error) Stdlib.result =
+  (* One boolean decides whether the run maintains scheduler counters and
+     emits spans; when no sink is active the only overhead left in the
+     simulator is a per-dispatch branch on [obs_enabled]. *)
+  let obs = obs_enabled () in
+  let want_compiled = backend <> Event && not check_races in
+  if not want_compiled then
+    run_event ~max_steps ~max_time ~check_races ~obs design spec Used_event
+  else begin
+    let key = design_key design ~top:spec.top in
+    let entry =
+      match cache_find key with
+      | Some entry -> Ok entry
+      | None -> (
+          let t_elab =
+            if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0
+          in
+          match
+            let elab =
+              Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top
+            in
+            Compile.compile elab
+          with
+          | art ->
+              if obs then obs_elab_done ~ok:true ~top:spec.top t_elab;
+              let entry : cache_entry = Ok art in
+              cache_add key entry;
+              Ok entry
+          | exception Compile.Fallback reason ->
+              if obs then obs_elab_done ~ok:true ~top:spec.top t_elab;
+              let entry : cache_entry = Error reason in
+              cache_add key entry;
+              Ok entry
+          | exception Runtime.Elab_error msg ->
+              (* Fails identically under either backend; report directly. *)
+              if obs then obs_elab_done ~ok:false ~top:spec.top t_elab;
+              Error (Elab_failure msg))
+    in
+    match entry with
+    | Error e -> Error e
+    | Ok (Ok art) -> run_artifact ~max_steps ~max_time ~obs art spec
+    | Ok (Error reason) ->
+        run_event ~max_steps ~max_time ~check_races:false ~obs design spec
+          (Used_fallback reason)
+  end
 
 (* Convenience: parse sources then simulate. *)
-let run_source ?max_steps ?max_time ?check_races ~(source : string)
+let run_source ?max_steps ?max_time ?check_races ?backend ~(source : string)
     (spec : spec) : (result, error) Stdlib.result =
   match Verilog.Parser.parse_design_result source with
   | Error msg -> Error (Elab_failure msg)
-  | Ok design -> run ?max_steps ?max_time ?check_races design spec
+  | Ok design -> run ?max_steps ?max_time ?check_races ?backend design spec

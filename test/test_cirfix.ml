@@ -586,6 +586,40 @@ let test_gp_without_fault_loc () =
   in
   Alcotest.(check bool) "repaired without fault loc" true (attempt 1)
 
+let test_backend_memo_isolation () =
+  (* Memo keys are backend-prefixed, so a fitness cached under one
+     --backend setting can never serve a lookup under another: flipping
+     the backend always misses the memo and re-simulates. *)
+  let problem = motivating_problem () in
+  let m = Cirfix.Problem.target_module problem in
+  let cfg_e =
+    { Cirfix.Config.default with backend = Sim.Simulate.Event; jobs = 1 }
+  in
+  let cfg_c = { cfg_e with backend = Sim.Simulate.Compiled } in
+  Alcotest.(check bool) "keys differ across backends" false
+    (String.equal
+       (Cirfix.Evaluate.key_of cfg_e m)
+       (Cirfix.Evaluate.key_of cfg_c m));
+  let ev = Cirfix.Evaluate.create cfg_c problem in
+  ignore (Cirfix.Evaluate.eval_module ev m);
+  (* Cached under the compiled-tagged key only: the event-tagged key of
+     the same module misses. *)
+  Alcotest.(check bool) "hit under same backend" true
+    (Hashtbl.mem ev.cache (Cirfix.Evaluate.key_of cfg_c m));
+  Alcotest.(check bool) "miss under flipped backend" false
+    (Hashtbl.mem ev.cache (Cirfix.Evaluate.key_of cfg_e m));
+  (* Second lookup under the same backend is the memo hit; the backend
+     counters record where the one real simulation ran. *)
+  ignore (Cirfix.Evaluate.eval_module ev m);
+  Alcotest.(check int) "one probe" 1 ev.probes;
+  Alcotest.(check int) "one memo hit" 1 (Cirfix.Evaluate.memo_hits ev);
+  Alcotest.(check int) "compiled sim counted" 1 ev.sims_compiled;
+  Alcotest.(check int) "no event sims" 0 ev.sims_event;
+  let ev_e = Cirfix.Evaluate.create cfg_e problem in
+  ignore (Cirfix.Evaluate.eval_module ev_e m);
+  Alcotest.(check int) "event sim counted" 1 ev_e.sims_event;
+  Alcotest.(check int) "no compiled sims" 0 ev_e.sims_compiled
+
 let test_brute_force_edit_inventory () =
   let problem = motivating_problem () in
   let original = Cirfix.Problem.target_module problem in
@@ -743,6 +777,8 @@ let () =
           Alcotest.test_case "generation callback" `Quick
             test_gp_generation_callback;
           Alcotest.test_case "without fault loc" `Slow test_gp_without_fault_loc;
+          Alcotest.test_case "backend memo isolation" `Quick
+            test_backend_memo_isolation;
           Alcotest.test_case "brute force inventory" `Quick
             test_brute_force_edit_inventory;
           Alcotest.test_case "brute force small" `Slow test_brute_force_small_defect;

@@ -1,0 +1,206 @@
+(* Unit tests for the compiled (levelized) simulation backend.
+
+   Three properties are pinned here, below the level the equivalence
+   sweep (sim_equiv_run) can see:
+
+   - levelization: in a diamond net, both middle nodes are scheduled
+     before the sink, and the pruning stats account for constant and
+     dead nodes;
+   - fallback triggers: the constructs the compiler rejects
+     (multi-driven nets, combinational cycles) raise [Compile.Fallback]
+     with a diagnosable reason, and an [Auto] run over such a design
+     reports [Used_fallback] rather than silently degrading;
+   - coverage of the hard shapes: #delay chains, named events and
+     nonblocking commits compile (no fallback) and reproduce the event
+     engine's observable behaviour exactly. *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let compile_top src =
+  let design = Verilog.Parser.parse_design src in
+  let elab = Sim.Elaborate.elaborate design ~top:"top" in
+  Sim.Compile.compile elab
+
+let pos order name =
+  let rec go i = function
+    | [] ->
+        Alcotest.failf "%s not in schedule [%s]" name (String.concat "; " order)
+    | x :: _ when String.equal x name -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 order
+
+(* Diamond: b and c both feed d.  e is written but never read (dead);
+   f is a constant (evaluated only in the time-0 pass). *)
+let diamond_src =
+  "module top;\n\
+  \  reg a;\n\
+  \  wire b, c, d, e, f;\n\
+  \  assign b = ~a;\n\
+  \  assign c = a & a;\n\
+  \  assign d = b ^ c;\n\
+  \  assign e = b;\n\
+  \  assign f = 1'b0;\n\
+  \  initial begin\n\
+  \    a = 0;\n\
+  \    #1 a = 1;\n\
+  \    #1 $display(\"%b%b\", d, f);\n\
+  \  end\n\
+   endmodule\n"
+
+let test_diamond_levelization () =
+  let art = compile_top diamond_src in
+  let order = Sim.Compile.schedule_order art in
+  Alcotest.(check bool) "b before d" true (pos order "b" < pos order "d");
+  Alcotest.(check bool) "c before d" true (pos order "c" < pos order "d");
+  (* e has no reader: pruned out of the schedule entirely. *)
+  Alcotest.(check bool) "dead node e not scheduled" false
+    (List.mem "e" order);
+  let stats = art.Sim.Compile.a_stats in
+  Alcotest.(check bool) "at least one dead node" true
+    (stats.Sim.Compile.c_dead >= 1);
+  Alcotest.(check bool) "at least one const node" true
+    (stats.Sim.Compile.c_const >= 1);
+  Alcotest.(check bool) "diamond needs two levels" true
+    (stats.Sim.Compile.c_levels >= 2);
+  (* The const node f runs at time 0 but drops out of the dynamic
+     schedule the cycle loop re-evaluates. *)
+  Alcotest.(check bool) "dynamic schedule excludes const nodes" true
+    (Array.length art.Sim.Compile.a_dynamic
+    < Array.length art.Sim.Compile.a_t0)
+
+let expect_fallback src sub =
+  match compile_top src with
+  | (_ : Sim.Compile.artifact) ->
+      Alcotest.failf "expected Compile.Fallback mentioning %S" sub
+  | exception Sim.Compile.Fallback reason ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason %S mentions %S" reason sub)
+        true (contains reason sub)
+
+let multi_driven_src =
+  "module dut(x, w);\n\
+  \  input x;\n\
+  \  output w;\n\
+  \  wire x, w;\n\
+  \  assign w = x;\n\
+  \  assign w = ~x;\n\
+   endmodule\n\
+   module top;\n\
+  \  reg clk, x;\n\
+  \  wire w;\n\
+  \  dut u(x, w);\n\
+  \  initial begin clk = 0; x = 0; #1 clk = 1; #1 $display(\"%b\", w); end\n\
+   endmodule\n"
+
+let test_fallback_multi_driven () = expect_fallback multi_driven_src "multi-driven"
+
+let test_fallback_comb_cycle () =
+  expect_fallback
+    "module top;\n\
+    \  wire p, q;\n\
+    \  assign p = ~q;\n\
+    \  assign q = ~p;\n\
+    \  initial #1 $display(\"%b\", p);\n\
+     endmodule\n"
+    "combinational cycle"
+
+(* An Auto run over a rejected design must fall back to the event
+   engine and say so in [backend_used] — the contract every fallback
+   counter upstream (Evaluate, journal, CLI stats) depends on. *)
+let test_auto_run_reports_fallback () =
+  let design = Verilog.Parser.parse_design multi_driven_src in
+  let spec =
+    { Sim.Simulate.top = "top"; clock = "top.clk"; dut_path = "top.u" }
+  in
+  match Sim.Simulate.run ~backend:Sim.Simulate.Auto design spec with
+  | Error (Sim.Simulate.Elab_failure e) -> Alcotest.failf "elab failed: %s" e
+  | Ok r -> (
+      match r.Sim.Simulate.backend_used with
+      | Sim.Simulate.Used_fallback reason ->
+          Alcotest.(check bool) "fallback reason names the net" true
+            (contains reason "multi-driven")
+      | other ->
+          Alcotest.failf "expected Used_fallback, got %s"
+            (Sim.Simulate.backend_used_to_string other))
+
+(* Delay chains, named events and nonblocking commits are exactly the
+   shapes the compiler must NOT reject (they run as embedded processes
+   inside the artifact), and the two backends must agree observably. *)
+let hard_shapes_src =
+  "module dut(clk, cnt);\n\
+  \  input clk;\n\
+  \  output [3:0] cnt;\n\
+  \  reg [3:0] cnt;\n\
+  \  event tick;\n\
+  \  initial cnt = 0;\n\
+  \  always @(posedge clk) begin\n\
+  \    cnt <= cnt + 1;\n\
+  \    -> tick;\n\
+  \  end\n\
+  \  always @(tick) $display(\"tick %b\", cnt);\n\
+   endmodule\n\
+   module top;\n\
+  \  reg clk;\n\
+  \  wire [3:0] cnt;\n\
+  \  dut u(clk, cnt);\n\
+  \  initial clk = 0;\n\
+  \  always #5 clk = ~clk;\n\
+  \  initial #48 $finish;\n\
+   endmodule\n"
+
+let test_hard_shapes_compile_and_match () =
+  let design = Verilog.Parser.parse_design hard_shapes_src in
+  let spec =
+    { Sim.Simulate.top = "top"; clock = "top.clk"; dut_path = "top.u" }
+  in
+  let run backend =
+    match Sim.Simulate.run ~backend design spec with
+    | Ok r -> r
+    | Error (Sim.Simulate.Elab_failure e) ->
+        Alcotest.failf "elab failed: %s" e
+  in
+  let e = run Sim.Simulate.Event in
+  let c = run Sim.Simulate.Compiled in
+  (match c.Sim.Simulate.backend_used with
+  | Sim.Simulate.Used_compiled -> ()
+  | other ->
+      Alcotest.failf "delay/event design must compile, got %s"
+        (Sim.Simulate.backend_used_to_string other));
+  Alcotest.(check string) "display" e.Sim.Simulate.display
+    c.Sim.Simulate.display;
+  Alcotest.(check string) "trace"
+    (Sim.Recorder.to_string e.Sim.Simulate.trace)
+    (Sim.Recorder.to_string c.Sim.Simulate.trace);
+  Alcotest.(check bool) "outcome" true
+    (e.Sim.Simulate.outcome = c.Sim.Simulate.outcome);
+  Alcotest.(check int) "end_time" e.Sim.Simulate.end_time
+    c.Sim.Simulate.end_time;
+  Alcotest.(check int) "steps" e.Sim.Simulate.steps c.Sim.Simulate.steps
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "levelize",
+        [
+          Alcotest.test_case "diamond order and pruning stats" `Quick
+            test_diamond_levelization;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "multi-driven net" `Quick
+            test_fallback_multi_driven;
+          Alcotest.test_case "combinational cycle" `Quick
+            test_fallback_comb_cycle;
+          Alcotest.test_case "auto run reports fallback" `Quick
+            test_auto_run_reports_fallback;
+        ] );
+      ( "hard shapes",
+        [
+          Alcotest.test_case "delays, named events, nonblocking" `Quick
+            test_hard_shapes_compile_and_match;
+        ] );
+    ]

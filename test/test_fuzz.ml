@@ -253,6 +253,7 @@ let test_canon_differential () =
                v_words = [||];
                v_waiters = [];
                v_subscribers = [];
+          v_on_waiter_list = false;
              }))
       idents;
     let show ex = Format.asprintf "%a" Verilog.Pp.pp_expr ex in
@@ -275,6 +276,111 @@ let test_canon_differential () =
             Alcotest.failf "original faults (%s) but canon %s evaluates"
               (Printexc.to_string exn1) (show canon)
         | exception _ -> ())
+  done
+
+(* --- Packed differential fuzz -------------------------------------------
+
+   [Logic4.Packed] is the compiled backend's value representation: two
+   int bitplanes for widths up to [max_packed_width], falling through to
+   [Vec] above it.  Every operation promises to be observationally
+   identical to its [Vec] counterpart — this drives random 4-state
+   vectors (widths straddling the 61-bit packed/fallthrough boundary)
+   through both and compares bit-exactly, including x/z propagation. *)
+
+let random_width rng =
+  (* Cluster around the packed boundary and the word sizes where carry
+     and sign handling live, with the full 1..70 range still reachable. *)
+  match Random.State.int rng 4 with
+  | 0 -> 1 + Random.State.int rng 8
+  | 1 -> 58 + Random.State.int rng 8 (* 58..65: straddles 61 *)
+  | 2 -> List.nth [ 31; 32; 33; 61; 62; 63; 64 ] (Random.State.int rng 7)
+  | _ -> 1 + Random.State.int rng 70
+
+let test_packed_differential () =
+  let module P = Logic4.Packed in
+  let module V = Logic4.Vec in
+  (* Reference for [Packed.merge_x]: Sim.Eval's x-condition merge —
+     bitwise agreement at the wider width, disagreement becomes X. *)
+  let merge_x_vec tv fv =
+    let w = max (V.width tv) (V.width fv) in
+    V.of_bits
+      (Array.init w (fun i ->
+           let a = V.get tv i and b = V.get fv i in
+           if Logic4.Bit.equal a b then a else Logic4.Bit.X))
+  in
+  let rng = Random.State.make [| 0xBACC |] in
+  let check name vv pv =
+    if not (V.equal vv (P.to_vec pv)) then
+      Alcotest.failf "Packed.%s disagrees with Vec.%s: %s <> %s" name name
+        (V.to_string vv)
+        (V.to_string (P.to_vec pv))
+  in
+  let binops =
+    [
+      ("add", V.add, P.add);
+      ("sub", V.sub, P.sub);
+      ("mul", V.mul, P.mul);
+      ("div", V.div, P.div);
+      ("rem", V.rem, P.rem);
+      ("logand", V.logand, P.logand);
+      ("logor", V.logor, P.logor);
+      ("logxor", V.logxor, P.logxor);
+      ("log_and", V.log_and, P.log_and);
+      ("log_or", V.log_or, P.log_or);
+      ("eq", V.eq, P.eq);
+      ("neq", V.neq, P.neq);
+      ("lt", V.lt, P.lt);
+      ("le", V.le, P.le);
+      ("gt", V.gt, P.gt);
+      ("ge", V.ge, P.ge);
+      ("case_eq", V.case_eq, P.case_eq);
+      ("case_neq", V.case_neq, P.case_neq);
+      ("concat", V.concat, P.concat);
+      ("merge_x", merge_x_vec, P.merge_x);
+    ]
+  in
+  let unops =
+    [
+      ("neg", V.neg, P.neg);
+      ("lognot", V.lognot, P.lognot);
+      ("log_not", V.log_not, P.log_not);
+      ("reduce_and", V.reduce_and, P.reduce_and);
+      ("reduce_or", V.reduce_or, P.reduce_or);
+      ("reduce_xor", V.reduce_xor, P.reduce_xor);
+    ]
+  in
+  for _trial = 1 to 3_000 do
+    let wa = random_width rng and wb = random_width rng in
+    let va = random_vec rng wa and vb = random_vec rng wb in
+    let pa = P.of_vec va and pb = P.of_vec vb in
+    List.iter (fun (name, vf, pf) -> check name (vf va vb) (pf pa pb)) binops;
+    List.iter (fun (name, vf, pf) -> check name (vf va) (pf pa)) unops;
+    (* Shifts with a small, mostly-defined amount (huge or x/z amounts
+       are exercised too, just less often). *)
+    let amt_v =
+      if Random.State.int rng 8 = 0 then random_vec rng 4
+      else V.of_int 4 (Random.State.int rng (wa + 4))
+    in
+    let amt_p = P.of_vec amt_v in
+    check "shift_left" (V.shift_left va amt_v) (P.shift_left pa amt_p);
+    check "shift_right" (V.shift_right va amt_v) (P.shift_right pa amt_p);
+    (* Structure ops: replicate, slice, and slice assignment. *)
+    let n = 1 + Random.State.int rng 3 in
+    check "replicate" (V.replicate n va) (P.replicate n pa);
+    let lsb = Random.State.int rng wa in
+    let msb = lsb + Random.State.int rng (wa - lsb) in
+    check "select" (V.select va ~msb ~lsb) (P.select pa ~msb ~lsb);
+    check "insert"
+      (V.insert ~into:va ~msb ~lsb vb)
+      (P.insert ~into:pa ~msb ~lsb pb);
+    (* Conversions round-trip and scalar views agree. *)
+    check "resize" (V.resize wb va) (P.resize wb pa);
+    check "of_vec/to_vec" va pa;
+    if P.to_bool pa <> V.to_bool va then Alcotest.failf "to_bool disagrees";
+    if P.to_int pa <> V.to_int va then Alcotest.failf "to_int disagrees";
+    if P.has_xz pa <> V.has_xz va then Alcotest.failf "has_xz disagrees";
+    let i = Random.State.int rng wa in
+    if P.get pa i <> V.get va i then Alcotest.failf "get disagrees at %d" i
   done
 
 (* Equal semantic hashes must mean equal canonical modules — the hash is
@@ -322,6 +428,11 @@ let () =
           Alcotest.test_case "minimize" `Quick test_minimize_fuzz;
           Alcotest.test_case "lexer robustness" `Quick
             test_random_sources_lex_or_fail_cleanly;
+        ] );
+      ( "packed",
+        [
+          Alcotest.test_case "differential vs Vec" `Slow
+            test_packed_differential;
         ] );
       ( "canon",
         [
