@@ -280,12 +280,30 @@ let localize design golden testbench target top clock dut =
            (function '\n' -> ' ' | c -> c)
            (Verilog.Pp.stmt_to_string s)))
     (Cirfix.Fault_loc.fl_statements m r);
-  (* Annotated source dump: suspiciousness = 1/round of implication. *)
-  print_string "annotated source (heat = 1/round):\n";
+  (* Slice membership: the backward cone of the mismatching outputs
+     (Verilog.Slice), the region a --slice repair run would search. *)
+  let plan =
+    let outs = Verilog.Slice.output_ports m in
+    let seed = List.filter (fun o -> List.mem o outs) mismatch in
+    Verilog.Slice.slice ~design:problem.design m
+      ~outputs:(if seed = [] then outs else seed)
+  in
+  let cone = Verilog.Slice.cone_lines m plan in
+  Printf.printf "backward cone of the mismatch: %d/%d nodes, %d/%d processes\n"
+    (List.length plan.sl_kept) plan.sl_nodes_total plan.sl_procs_kept
+    plan.sl_procs_total;
+  (* Annotated source dump: suspiciousness = 1/round of implication; the
+     second gutter column is cone membership (in/out). *)
+  print_string "annotated source (heat = 1/round, in/out = mismatch cone):\n";
   List.iter
     (fun (text, w) ->
-      if w > 0. then Printf.printf "  %4.2f | %s\n" w text
-      else Printf.printf "       | %s\n" text)
+      let mark =
+        if String.trim text = "" then "   "
+        else if Hashtbl.mem cone (String.trim text) then "in "
+        else "out"
+      in
+      if w > 0. then Printf.printf "  %4.2f %s | %s\n" w mark text
+      else Printf.printf "       %s | %s\n" mark text)
     (Cirfix.Fault_loc.heat_lines m r)
 
 let localize_cmd =
@@ -295,6 +313,193 @@ let localize_cmd =
     Term.(
       const localize $ design_arg $ golden_arg $ testbench_arg $ target_arg
       $ top_arg $ clock_arg $ dut_arg)
+
+(* --- slice ----------------------------------------------------------------- *)
+
+let slice design testbench target top clock dut outputs focus out tb_out =
+  let d = or_die (read_file design) and tb_src = or_die (read_file testbench) in
+  let parsed =
+    match Verilog.Parser.parse_design_result (d ^ "\n" ^ tb_src) with
+    | Ok x -> x
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+  in
+  let find name =
+    match
+      List.find_opt (fun (m : Verilog.Ast.module_decl) -> m.mod_id = name) parsed
+    with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "error: no module %s in the design\n" name;
+        exit 1
+  in
+  let m = find target and tb = find top in
+  let inst =
+    let prefix = top ^ "." in
+    if String.length dut > String.length prefix
+       && String.sub dut 0 (String.length prefix) = prefix
+    then String.sub dut (String.length prefix) (String.length dut - String.length prefix)
+    else or_die (Error (Printf.sprintf "--dut must be %s.<instance>" top))
+  in
+  let out_ports = Verilog.Slice.output_ports m in
+  let tb_read = Verilog.Slice.tb_read_outputs ~tb ~inst ~target:m in
+  let seed =
+    match outputs with
+    | None -> out_ports
+    | Some given ->
+        List.iter
+          (fun o ->
+            if not (List.mem o out_ports) then (
+              Printf.eprintf "error: %s is not an output port of %s\n" o target;
+              exit 1))
+          given;
+        (* Outputs the testbench reads back shape the stimulus; dropping
+           them would change what the slice is simulated against. *)
+        List.sort_uniq compare (given @ Verilog.Slice.Names.elements tb_read)
+  in
+  let focus =
+    Option.map (fun ids -> Verilog.Slice.Ids.of_list ids) focus
+  in
+  let plan = Verilog.Slice.slice ~design:parsed ?focus m ~outputs:seed in
+  (* Manifest. *)
+  Printf.printf "slice of %s seeded on outputs: %s\n" target
+    (String.concat ", " seed);
+  if outputs <> None && not (Verilog.Slice.Names.is_empty tb_read) then
+    Printf.printf "  tb-read outputs retained: %s\n"
+      (String.concat ", " (Verilog.Slice.Names.elements tb_read));
+  Printf.printf "  nodes: %d/%d kept, processes: %d/%d\n"
+    (List.length plan.sl_kept)
+    plan.sl_nodes_total plan.sl_procs_kept plan.sl_procs_total;
+  Printf.printf "  size: %d/%d AST nodes (%.0f%%)\n"
+    (Verilog.Ast_utils.module_size plan.sl_module)
+    (Verilog.Ast_utils.module_size m)
+    (100.
+    *. float_of_int (Verilog.Ast_utils.module_size plan.sl_module)
+    /. float_of_int (max 1 (Verilog.Ast_utils.module_size m)));
+  Printf.printf "  inputs: %s\n" (String.concat ", " plan.sl_inputs);
+  Printf.printf "  outputs: %s\n" (String.concat ", " plan.sl_outputs);
+  Printf.printf "  promoted cut points: %s\n"
+    (match plan.sl_promoted with [] -> "(none)" | l -> String.concat ", " l);
+  Printf.printf "  kept item ids: %s\n"
+    (String.concat ", " (List.map string_of_int plan.sl_kept));
+  Printf.printf "  dropped item ids: %s\n"
+    (match plan.sl_dropped with
+    | [] -> "(none)"
+    | l -> String.concat ", " (List.map string_of_int l));
+  Printf.printf "  structural hash: %s\n" plan.sl_hash;
+  let tb' = Verilog.Slice.rewrite_testbench ~tb ~inst ~target:m plan in
+  (* Promoted cut points need driving: simulate the whole design once with
+     the cut nets re-exported as probe outputs, then replay the recorded
+     waveforms into the __slice_* registers of the rewritten testbench. *)
+  let tb_final =
+    if plan.sl_promoted = [] then tb'
+    else begin
+      let probed =
+        List.map
+          (fun (md : Verilog.Ast.module_decl) ->
+            if md.mod_id = target then Verilog.Slice.probe_module m plan
+            else if md.mod_id = top then
+              Verilog.Slice.probe_testbench ~tb ~inst ~target:m plan
+            else md)
+          parsed
+      in
+      match Sim.Simulate.run probed (spec_of top clock dut) with
+      | Error (Sim.Simulate.Elab_failure e) ->
+          Printf.eprintf "probe simulation failed to elaborate: %s\n" e;
+          exit 1
+      | Ok r ->
+          let strip n =
+            let p = "__probe_" in
+            if String.length n > String.length p
+               && String.sub n 0 (String.length p) = p
+            then Some (String.sub n (String.length p) (String.length n - String.length p))
+            else None
+          in
+          let samples =
+            List.map
+              (fun (s : Sim.Recorder.sample) ->
+                ( s.t,
+                  List.filter_map
+                    (fun (n, v) -> Option.map (fun b -> (b, v)) (strip n))
+                    s.values ))
+              r.trace
+          in
+          let replay = Verilog.Slice.replay_items plan ~samples in
+          Printf.printf
+            "  replay harness: %d sampled times driving %d cut register(s)\n"
+            (List.length samples)
+            (List.length plan.sl_promoted);
+          { tb' with items = tb'.items @ replay }
+    end
+  in
+  let sliced_design =
+    List.filter_map
+      (fun (md : Verilog.Ast.module_decl) ->
+        if md.mod_id = top then None
+        else if md.mod_id = target then Some plan.sl_module
+        else Some md)
+      parsed
+  in
+  let design_src =
+    String.concat "\n" (List.map Verilog.Pp.module_to_string sliced_design)
+  in
+  let tb_txt = Verilog.Pp.module_to_string tb_final in
+  (match out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc design_src);
+      Printf.printf "sliced design written to %s\n" path
+  | None ->
+      print_endline "--- sliced design ---";
+      print_string design_src);
+  (match tb_out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc tb_txt);
+      Printf.printf "rewritten testbench written to %s\n" path
+  | None ->
+      print_endline "--- rewritten testbench ---";
+      print_string tb_txt);
+  0
+
+let slice_cmd =
+  let doc =
+    "Extract the cone-of-influence slice of a module: the backward cone of\n\
+     chosen output ports (optionally intersected with the forward cone of\n\
+     suspicious statements via $(b,--focus)), emitted as a self-contained\n\
+     module plus a rewritten testbench. Cut nets severed by a focus\n\
+     intersection are promoted to input ports and driven by a replay\n\
+     harness recorded from one whole-design simulation."
+  in
+  Cmd.v (Cmd.info "slice" ~doc)
+    Term.(
+      const (fun a b c d e f g h i j -> ignore (slice a b c d e f g h i j))
+      $ design_arg $ testbench_arg $ target_arg $ top_arg $ clock_arg $ dut_arg
+      $ Arg.(
+          value
+          & opt (some (list string)) None
+          & info [ "outputs" ] ~docv:"NAMES"
+              ~doc:
+                "Comma-separated output ports seeding the backward cone\n\
+                 (default: all output ports of the target).")
+      $ Arg.(
+          value
+          & opt (some (list int)) None
+          & info [ "focus" ] ~docv:"IDS"
+              ~doc:
+                "Comma-separated statement ids (as printed by\n\
+                 $(b,localize)) whose forward cone intersects the slice;\n\
+                 in-cone logic outside it is dropped and its cut nets are\n\
+                 promoted to inputs.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "output"; "o" ] ~docv:"FILE"
+              ~doc:"Write the sliced design here (default: stdout).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "tb-out" ] ~docv:"FILE"
+              ~doc:"Write the rewritten testbench here (default: stdout)."))
 
 (* --- repair ----------------------------------------------------------------- *)
 
@@ -307,6 +512,31 @@ let jobs_arg =
           "Worker domains for parallel candidate evaluation (1 = sequential;\n\
            default: recommended domain count minus one). Results are\n\
            identical for any value when the wall-clock bound does not bind.")
+
+let slice_flag =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:
+          "Slice-based repair: extract the backward cone of the mismatching\n\
+           outputs and run mutation, localization and candidate simulation\n\
+           on the slice; every slice-plausible candidate is stitched back\n\
+           into the whole design and re-verified there before being\n\
+           reported. Falls back silently to whole-design repair when the\n\
+           target is not the DUT module or the cone covers the design.")
+
+(* Extra summary rows for a --slice run: whether slicing engaged, and the
+   split between slice simulations and whole-design re-verifications. *)
+let slice_rows ~slice ~sliced ~slice_sims ~stitched_verifies =
+  if not slice then []
+  else
+    [
+      ( "slice",
+        if sliced then
+          Printf.sprintf "engaged  (%d sims on the slice)" slice_sims
+        else "fell back to whole-design repair" );
+      ("stitched verifies", Printf.sprintf "%d" stitched_verifies);
+    ]
 
 (* The shared summary table of a search run (GP or brute-force): memo
    behaviour and the per-status reject breakdown, aligned. Rates are
@@ -366,7 +596,7 @@ let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
 
 let repair design golden testbench target top clock dut seed pop_size
     generations max_probes wall jobs backend race_screen race_check no_prune
-    check_pruning output obs =
+    check_pruning slice output obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -389,6 +619,7 @@ let repair design golden testbench target top clock dut seed pop_size
       check_races = race_check;
       prune = not no_prune;
       check_pruning;
+      slice;
     }
   in
   let on_generation (g : Cirfix.Gp.generation_stats) =
@@ -410,7 +641,9 @@ let repair design golden testbench target top clock dut seed pop_size
           ~compiled_fallbacks:r.compiled_fallbacks
           ~sim_seconds_event:r.sim_seconds_event
           ~sim_seconds_compiled:r.sim_seconds_compiled ~jobs:cfg.jobs
-          ~wall_seconds:r.wall_seconds));
+          ~wall_seconds:r.wall_seconds
+        @ slice_rows ~slice:cfg.slice ~sliced:r.sliced ~slice_sims:r.slice_sims
+            ~stitched_verifies:r.stitched_verifies));
   (* Replay the final design (repaired when found, else the faulty
      original) under the repair testbench with coverage enabled, so the
      summary reports how much of the target the oracle actually
@@ -497,6 +730,7 @@ let repair_cmd =
                  candidate anyway and fail if its fitness differs from the\n\
                  value the pruning lane served. Slow; for differential\n\
                  testing of the pruner.")
+      $ slice_flag
       $ Arg.(
           value
           & opt (some string) None
@@ -507,7 +741,7 @@ let repair_cmd =
 (* --- brute ------------------------------------------------------------------ *)
 
 let brute design golden testbench target top clock dut max_depth max_probes
-    wall jobs backend race_screen no_prune check_pruning obs =
+    wall jobs backend race_screen no_prune check_pruning slice obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -526,6 +760,7 @@ let brute design golden testbench target top clock dut max_depth max_probes
       screen_races = race_screen;
       prune = not no_prune;
       check_pruning;
+      slice;
     }
   in
   let r = Cirfix.Brute_force.search ~max_depth cfg problem in
@@ -543,7 +778,9 @@ let brute design golden testbench target top clock dut max_depth max_probes
           ~compiled_fallbacks:r.compiled_fallbacks
           ~sim_seconds_event:r.sim_seconds_event
           ~sim_seconds_compiled:r.sim_seconds_compiled ~jobs:cfg.jobs
-          ~wall_seconds:r.wall_seconds));
+          ~wall_seconds:r.wall_seconds
+        @ slice_rows ~slice:cfg.slice ~sliced:r.sliced ~slice_sims:r.slice_sims
+            ~stitched_verifies:r.stitched_verifies));
   match r.repaired with
   | Some patch ->
       Printf.printf "REPAIRED (%d edits):\n  %s\n" (List.length patch)
@@ -584,6 +821,7 @@ let brute_cmd =
               ~doc:
                 "Simulate statically-pruned candidates anyway and fail on\n\
                  any fitness mismatch (differential testing of the pruner).")
+      $ slice_flag
       $ obs_args)
 
 (* --- coverage ---------------------------------------------------------------------- *)
@@ -866,6 +1104,7 @@ let () =
             simulate_cmd;
             oracle_cmd;
             localize_cmd;
+            slice_cmd;
             repair_cmd;
             brute_cmd;
             scenarios_cmd;

@@ -24,6 +24,9 @@ type trial_summary = {
   sims_event : int; (* event-engine simulations, across all trials *)
   sims_compiled : int; (* compiled-backend simulations, across all trials *)
   compiled_fallbacks : int; (* compiled->event fallbacks, across all trials *)
+  sliced : bool; (* slice-based repair engaged in any trial *)
+  slice_sims : int; (* simulations run on the sliced design, across trials *)
+  stitched_verifies : int; (* whole-design re-verifications, across trials *)
   edits : int; (* minimized patch size; 0 when unrepaired *)
   trials_run : int;
   winning_seed : int option;
@@ -39,8 +42,8 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
     : trial_summary =
   let rec go seed ~total_probes ~total_statics ~total_oversize ~total_racy
       ~total_races ~total_sem ~total_dead ~total_sims_event
-      ~total_sims_compiled ~total_fallbacks ~total_seconds ~initial_fitness =
-    function
+      ~total_sims_compiled ~total_fallbacks ~any_sliced ~total_slice_sims
+      ~total_stitched ~total_seconds ~initial_fitness = function
     | [] ->
         {
           defect = d;
@@ -58,6 +61,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
           sims_event = total_sims_event;
           sims_compiled = total_sims_compiled;
           compiled_fallbacks = total_fallbacks;
+          sliced = any_sliced;
+          slice_sims = total_slice_sims;
+          stitched_verifies = total_stitched;
           edits = 0;
           trials_run = trials;
           winning_seed = None;
@@ -77,6 +83,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
         let total_sims_event = total_sims_event + r.sims_event in
         let total_sims_compiled = total_sims_compiled + r.sims_compiled in
         let total_fallbacks = total_fallbacks + r.compiled_fallbacks in
+        let any_sliced = any_sliced || r.sliced in
+        let total_slice_sims = total_slice_sims + r.slice_sims in
+        let total_stitched = total_stitched + r.stitched_verifies in
         let total_seconds = total_seconds +. r.wall_seconds in
         match (r.minimized, r.repaired_module) with
         | Some patch, Some m ->
@@ -96,6 +105,9 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
               sims_event = total_sims_event;
               sims_compiled = total_sims_compiled;
               compiled_fallbacks = total_fallbacks;
+              sliced = any_sliced;
+              slice_sims = total_slice_sims;
+              stitched_verifies = total_stitched;
               edits = List.length patch;
               trials_run = seed;
               winning_seed = Some seed;
@@ -108,11 +120,13 @@ let summarize (d : Defects.t) ~(trials : int) (results : Cirfix.Gp.result list)
             go (seed + 1) ~total_probes ~total_statics ~total_oversize
               ~total_racy ~total_races ~total_sem ~total_dead
               ~total_sims_event ~total_sims_compiled ~total_fallbacks
-              ~total_seconds ~initial_fitness:r.initial_fitness rest)
+              ~any_sliced ~total_slice_sims ~total_stitched ~total_seconds
+              ~initial_fitness:r.initial_fitness rest)
   in
   go 1 ~total_probes:0 ~total_statics:0 ~total_oversize:0 ~total_racy:0
     ~total_races:0 ~total_sem:0 ~total_dead:0 ~total_sims_event:0
-    ~total_sims_compiled:0 ~total_fallbacks:0 ~total_seconds:0.
+    ~total_sims_compiled:0 ~total_fallbacks:0 ~any_sliced:false
+    ~total_slice_sims:0 ~total_stitched:0 ~total_seconds:0.
     ~initial_fitness:0. results
 
 (* [pool]: when given (and wider than one domain), all [trials] seeds run

@@ -23,6 +23,9 @@ type result = {
   sim_seconds_compiled : float; (* in-simulator wall time, compiled *)
   wall_seconds : float;
   candidates_tried : int;
+  sliced : bool; (* slice-based search actually engaged *)
+  slice_sims : int; (* simulations that ran on the sliced design *)
+  stitched_verifies : int; (* whole-design re-verifications of winners *)
 }
 
 (* Journal cadence: one batch record per this many committed candidates.
@@ -70,8 +73,28 @@ let single_edits (m : module_decl) : Patch.edit list =
   in
   deletes @ replaces @ inserts @ templates
 
-let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
-  let ev = Evaluate.create cfg problem in
+let search ?(max_depth = 2) (cfg : Config.t) (whole_problem : Problem.t) :
+    result =
+  (* Slice-based search (see Gp.repair): the enumeration runs over the
+     sliced module — fewer statements, so fewer single edits and cheaper
+     simulations — and every slice-plausible patch is stitched back into
+     the whole design and re-verified before being reported. *)
+  let whole_ev = Evaluate.create cfg whole_problem in
+  let slicing = if cfg.slice then Slicing.prepare whole_ev else None in
+  let problem =
+    match slicing with Some s -> s.Slicing.sliced | None -> whole_problem
+  in
+  let ev =
+    match slicing with Some _ -> Evaluate.create cfg problem | None -> whole_ev
+  in
+  let stitched = ref 0 in
+  let stitched_ok (patch : Patch.t) : bool =
+    match slicing with
+    | None -> true
+    | Some s ->
+        incr stitched;
+        (Evaluate.eval_module whole_ev (Slicing.stitch s patch)).fitness >= 1.0
+  in
   let original = Problem.target_module problem in
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. cfg.max_wall_seconds in
@@ -90,6 +113,8 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
          ("single_edits", Obs.Json.Int (List.length edits));
        ]
       @ Config.journal_fields cfg);
+  if Obs.Journal.enabled () then
+    Option.iter (fun s -> Obs.Journal.emit (Slicing.journal_record s)) slicing;
   (* Best fitness seen so far (over committed candidates), reported in
      journal batch records. *)
   let best = ref 0. in
@@ -154,7 +179,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
               incr tried;
               let o = Evaluate.commit prepared i in
               if o.fitness > !best then best := o.fitness;
-              if o.fitness >= 1.0 then found := Some p;
+              if o.fitness >= 1.0 && stitched_ok p then found := Some p;
               if Obs.Journal.enabled () && !tried mod journal_quantum = 0 then
                 journal_batch ~depth:!d))
           chunk;
@@ -194,7 +219,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
       ];
     (* Terminal record: no wall-clock field, byte-identical across [jobs]. *)
     Obs.Journal.emit
-      [
+      ([
         ("type", Obs.Json.Str "run_end");
         ( "status",
           Obs.Json.Str (if !found <> None then "repaired" else "no_repair") );
@@ -213,6 +238,15 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
         ("compiled_fallbacks", Obs.Json.Int ev.compiled_fallbacks);
         ("tried", Obs.Json.Int !tried);
       ]
+      @
+      if cfg.slice then
+        [
+          ( "slice_sims",
+            Obs.Json.Int (match slicing with Some _ -> ev.probes | None -> 0)
+          );
+          ("stitched_verifies", Obs.Json.Int !stitched);
+        ]
+      else [])
   end;
   {
     repaired = !found;
@@ -232,4 +266,7 @@ let search ?(max_depth = 2) (cfg : Config.t) (problem : Problem.t) : result =
     sim_seconds_compiled = ev.sim_seconds_compiled;
     wall_seconds = Unix.gettimeofday () -. t0;
     candidates_tried = !tried;
+    sliced = slicing <> None;
+    slice_sims = (match slicing with Some _ -> ev.probes | None -> 0);
+    stitched_verifies = !stitched;
   }

@@ -58,6 +58,9 @@ type result = {
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;
+  sliced : bool; (* slice-based repair actually engaged *)
+  slice_sims : int; (* simulations that ran on the sliced design *)
+  stitched_verifies : int; (* whole-design re-verifications of winners *)
 }
 
 let mean = function
@@ -328,16 +331,37 @@ let journal_run_end (ev : Evaluate.t) ~(status : string)
 
 (* Fault-localize a parent: simulate (cached) and run Algorithm 2 against
    its own mismatch set — CirFix re-localizes per parent to support
-   dependent multi-edit repairs (paper Sec. 3). *)
+   dependent multi-edit repairs (paper Sec. 3). [focus] is the slicing
+   backward/forward intersection (Slicing.focus): when narrowing the
+   localization to it leaves something, mutation targets shrink to the
+   nodes both upstream of the mismatch and downstream of the suspicious
+   set; when the intersection is empty the localization stands, so focus
+   never empties the target set. *)
 let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
-    (cfg : Config.t) (parent : candidate) :
+    (cfg : Config.t) ~(focus : Fault_loc.IdSet.t) (parent : candidate) :
     Verilog.Ast.module_decl * Verilog.Ast.stmt list * Fault_loc.IdSet.t =
   let m = Patch.apply original parent.patch in
+  let narrow (stmts, fl) =
+    if Fault_loc.IdSet.is_empty focus then (stmts, fl)
+    else
+      let stmts' =
+        List.filter
+          (fun (s : Verilog.Ast.stmt) -> Fault_loc.IdSet.mem s.sid focus)
+          stmts
+      in
+      let fl' = Fault_loc.IdSet.inter fl focus in
+      if stmts' = [] || Fault_loc.IdSet.is_empty fl' then (stmts, fl)
+      else (stmts', fl')
+  in
   if not cfg.use_fault_loc then (
     let stmts = Fault_loc.all_statements m in
-    ( m,
-      stmts,
-      Fault_loc.IdSet.of_list (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) ))
+    let stmts, fl =
+      narrow
+        ( stmts,
+          Fault_loc.IdSet.of_list
+            (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) )
+    in
+    (m, stmts, fl))
   else (
     let mismatch =
       match parent.outcome.status with
@@ -360,16 +384,51 @@ let localize_parent (ev : Evaluate.t) (original : Verilog.Ast.module_decl)
        stall the search; widen to all statements as a fallback. *)
     if fl_stmts = [] then
       let stmts = Fault_loc.all_statements m in
-      ( m,
-        stmts,
-        Fault_loc.IdSet.of_list
-          (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) )
-    else (m, fl_stmts, r.fl))
+      let stmts, fl =
+        narrow
+          ( stmts,
+            Fault_loc.IdSet.of_list
+              (List.map (fun (s : Verilog.Ast.stmt) -> s.sid) stmts) )
+      in
+      (m, stmts, fl)
+    else
+      let stmts, fl = narrow (fl_stmts, r.fl) in
+      (m, stmts, fl))
 
 let repair ?(on_generation : (generation_stats -> unit) option)
-    (cfg : Config.t) (problem : Problem.t) : result =
+    (cfg : Config.t) (whole_problem : Problem.t) : result =
   let rng = Random.State.make [| cfg.seed |] in
-  let ev = Evaluate.create cfg problem in
+  (* Slice-based repair: when enabled and the slicer finds a strictly
+     smaller exact slice, the search (mutation, localization, candidate
+     simulation) runs on the sliced problem; [whole_ev] then only scores
+     the seed and re-verifies plausible winners stitched back into the
+     whole design (the acceptance gate). When slicing cannot engage,
+     [whole_ev] IS the search evaluator and nothing changes. *)
+  let whole_ev = Evaluate.create cfg whole_problem in
+  let slicing = if cfg.slice then Slicing.prepare whole_ev else None in
+  let problem =
+    match slicing with Some s -> s.Slicing.sliced | None -> whole_problem
+  in
+  let ev =
+    match slicing with Some _ -> Evaluate.create cfg problem | None -> whole_ev
+  in
+  let focus =
+    match slicing with
+    | Some s -> s.Slicing.focus
+    | None -> Fault_loc.IdSet.empty
+  in
+  let stitched = ref 0 in
+  (* The acceptance gate: a slice-plausible patch counts as a repair only
+     if the stitched whole design reaches fitness 1.0 on the full oracle.
+     Runs at sequential commit time, so counters and the winning patch
+     stay independent of [cfg.jobs]. *)
+  let stitched_ok (patch : Patch.t) : bool =
+    match slicing with
+    | None -> true
+    | Some s ->
+        incr stitched;
+        (Evaluate.eval_module whole_ev (Slicing.stitch s patch)).fitness >= 1.0
+  in
   let original = Problem.target_module problem in
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. cfg.max_wall_seconds in
@@ -391,10 +450,19 @@ let repair ?(on_generation : (generation_stats -> unit) option)
          ("problem", Obs.Json.Str problem.name);
        ]
       @ Config.journal_fields cfg);
+  if Obs.Journal.enabled () then
+    Option.iter
+      (fun s -> Obs.Journal.emit (Slicing.journal_record s))
+      slicing;
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
 
   let initial = { patch = []; outcome = Evaluate.eval_patch ev original [] } in
-  let found = ref (if initial.outcome.fitness >= 1.0 then Some initial else None) in
+  let found =
+    ref
+      (if initial.outcome.fitness >= 1.0 && stitched_ok initial.patch then
+         Some initial
+       else None)
+  in
   if Obs.Journal.enabled () then begin
     let mismatch =
       Fitness.mismatched_signals ~expected:ev.problem.oracle
@@ -434,7 +502,7 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       let pi = tournament_idx rng cfg !popn in
       let parent = (!popn).(pi) in
       let parents = [ popn_hashes.(pi) ] in
-      let m, fl_stmts, fl = localize_parent ev original cfg parent in
+      let m, fl_stmts, fl = localize_parent ev original cfg ~focus parent in
       let children =
         if cfg.use_templates && Random.State.float rng 1.0 <= cfg.rt_threshold
         then
@@ -484,7 +552,8 @@ let repair ?(on_generation : (generation_stats -> unit) option)
           if Obs.Journal.enabled () then
             record_lineage lineage ~hash:(hash_of_mod mods.(i))
               ~prov:(snd tagged_batch.(i)) ~gen:!gen ~fitness:c.outcome.fitness;
-          if c.outcome.fitness >= 1.0 then found := Some c;
+          if c.outcome.fitness >= 1.0 && stitched_ok c.patch then
+            found := Some c;
           child_popn := c :: !child_popn))
       batch;
     if Obs.Trace.enabled () then
@@ -539,8 +608,16 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   done;
 
   let t_min = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
+  (* In slice mode, minimize against the WHOLE design: every ddmin probe
+     then re-verifies on the full oracle, so the minimized patch repairs
+     the whole module by construction, not just the slice. *)
   let minimized =
-    Option.map (fun c -> Minimize.minimize ev original c.patch) !found
+    Option.map
+      (fun c ->
+        match slicing with
+        | None -> Minimize.minimize ev original c.patch
+        | Some s -> Minimize.minimize whole_ev s.Slicing.whole_target c.patch)
+      !found
   in
   if !found <> None && Obs.Trace.enabled () then
     Obs.Trace.complete ~cat:"gp" ~name:"gp.minimize" t_min;
@@ -583,15 +660,30 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       ];
     journal_run_end ev
       ~status:(if !found <> None then "repaired" else "no_repair")
-      [
-        ("generations", Obs.Json.Int !gen);
-        ("mutants", Obs.Json.Int !mutants);
-      ]
+      ([
+         ("generations", Obs.Json.Int !gen);
+         ("mutants", Obs.Json.Int !mutants);
+       ]
+      @
+      if cfg.slice then
+        [
+          ( "slice_sims",
+            Obs.Json.Int (match slicing with Some _ -> ev.probes | None -> 0)
+          );
+          ("stitched_verifies", Obs.Json.Int !stitched);
+        ]
+      else [])
   end;
   {
     repaired = !found;
     minimized;
-    repaired_module = Option.map (Patch.apply original) minimized;
+    repaired_module =
+      Option.map
+        (fun p ->
+          match slicing with
+          | None -> Patch.apply original p
+          | Some s -> Slicing.stitch s p)
+        minimized;
     generations = List.rev !gen_stats;
     probes = ev.probes;
     lookups = ev.lookups;
@@ -612,4 +704,7 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     mutants_generated = !mutants;
     wall_seconds = Unix.gettimeofday () -. t0;
     initial_fitness = initial.outcome.fitness;
+    sliced = slicing <> None;
+    slice_sims = (match slicing with Some _ -> ev.probes | None -> 0);
+    stitched_verifies = !stitched;
   }

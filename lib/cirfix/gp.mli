@@ -59,6 +59,18 @@ type result = {
   mutants_generated : int;
   wall_seconds : float;
   initial_fitness : float;  (** fitness of the unpatched faulty design *)
+  sliced : bool;
+      (** slice-based repair actually engaged ([cfg.slice] and the slicer
+          found a strictly smaller exact slice); when false under
+          [cfg.slice], the run silently fell back to whole-design repair *)
+  slice_sims : int;
+      (** candidate simulations that ran on the sliced design (equals
+          [probes] when [sliced], 0 otherwise) *)
+  stitched_verifies : int;
+      (** slice-plausible candidates stitched back into the whole design
+          and re-verified on the full oracle — the slicing acceptance
+          gate; includes the winners and any slice-only false positives
+          it rejected *)
 }
 
 (** Run one seeded repair trial. Terminates at a plausible repair (fitness

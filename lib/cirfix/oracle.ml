@@ -29,6 +29,14 @@ let thin ~(keep : int) (oracle : t) : t =
   else
     List.filteri (fun i _ -> i mod keep = 0) oracle
 
+(* Restrict the oracle to a subset of its signals — the expected trace of
+   a sliced module, whose recorder only sees the slice's output ports. *)
+let restrict ~(names : string list) (oracle : t) : t =
+  List.map
+    (fun (s : Sim.Recorder.sample) ->
+      { s with values = List.filter (fun (n, _) -> List.mem n names) s.values })
+    oracle
+
 (* Fraction of samples retained, for reporting. *)
 let coverage ~(full : t) (oracle : t) : float =
   if full = [] then 0.

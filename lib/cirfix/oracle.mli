@@ -21,6 +21,10 @@ val of_golden_design :
     4 retains 25%). [keep] <= 1 is the identity. *)
 val thin : keep:int -> t -> t
 
+(** Restrict every sample to the named signals: the expected trace of a
+    sliced module, whose recorder only observes the slice's outputs. *)
+val restrict : names:string list -> t -> t
+
 (** Fraction of [full]'s samples retained by [oracle]. *)
 val coverage : full:t -> t -> float
 

@@ -409,6 +409,64 @@ let render_pruning (records : Json.t list) : string =
       in
       summary ^ chart
 
+(* Semantic slicing: the slice manifest (emitted when a --slice run
+   extracted a strictly smaller cone) and the run_end split between
+   slice simulations and whole-design stitched re-verifications. Renders
+   a short absence note for runs without slicing. *)
+let render_slicing (records : Json.t list) : string =
+  match last_of_type "slice" records with
+  | None -> (
+      match last_of_type "run" records with
+      | Some r -> (
+          match Json.member "slice" r with
+          | Some (Json.Bool true) ->
+              "<p>slicing requested but fell back to whole-design repair \
+               (target not the DUT module, or the cone covers the \
+               design)</p>\n"
+          | _ -> missing "slice")
+      | None -> missing "slice")
+  | Some s ->
+      let names k =
+        list_of k s
+        |> List.map (function Json.Str x -> html_escape x | _ -> "?")
+        |> String.concat ", "
+      in
+      let count k = List.length (list_of k s) in
+      let size = i_of "size" s and whole = i_of "whole_size" s in
+      let pct =
+        if whole = 0 then "&mdash;"
+        else f2 (100. *. float_of_int size /. float_of_int whole) ^ "%"
+      in
+      let counters =
+        match last_of_type "run_end" records with
+        | None -> ""
+        | Some r ->
+            Printf.sprintf
+              "<p><b>%d</b> simulations ran on the slice; <b>%d</b> \
+               slice-plausible candidate(s) were stitched back and \
+               re-verified on the whole design</p>\n"
+              (i_of "slice_sims" r)
+              (i_of "stitched_verifies" r)
+      in
+      Printf.sprintf
+        "<p>module <b>%s</b> sliced to <b>%d/%d</b> AST nodes (%s): %d/%d \
+         logic node(s), %d/%d process(es) kept; %d dropped</p>\n"
+        (html_escape (s_of "module" s))
+        size whole pct (count "kept") (i_of "nodes_total" s)
+        (i_of "procs_kept" s) (i_of "procs_total" s) (count "dropped")
+      ^ table
+          [ "facet"; "names" ]
+          [
+            [ "mismatch seed"; names "mismatch" ];
+            [ "retained outputs"; names "outputs" ];
+            [ "retained inputs"; names "inputs" ];
+            [
+              "promoted cut points";
+              (match names "promoted" with "" -> "(none)" | l -> l);
+            ];
+          ]
+      ^ counters
+
 (* Per-signal attribution: the seed design (gen 0) next to the best
    candidate of the last journaled generation — which signals improved,
    and when each first diverges from the oracle. *)
@@ -664,6 +722,7 @@ let render ?(metrics : Json.t option) (records : Json.t list) : string =
   section buf "Diversity" (render_diversity records);
   section buf "Evaluation breakdown" (render_rejects records);
   section buf "Static pruning" (render_pruning records);
+  section buf "Semantic slicing" (render_slicing records);
   section buf "Per-signal attribution" (render_attribution records);
   section buf "Fault localization" (render_localization records);
   section buf "Patch lineage" (render_lineage records);

@@ -422,9 +422,10 @@ let reads (g : graph) : Names.t = g.g_reads
 
 (* --- Checks ------------------------------------------------------------- *)
 
-type check = Comb_loop | Uninit_reg | Width | Const_cond | Dataflow_facts
+type check = Comb_loop | Uninit_reg | Width | Const_cond | Dataflow_facts | Cone
 
-let all_checks = [ Comb_loop; Uninit_reg; Width; Const_cond; Dataflow_facts ]
+let all_checks =
+  [ Comb_loop; Uninit_reg; Width; Const_cond; Dataflow_facts; Cone ]
 
 let finding = Lint.finding
 
@@ -663,6 +664,42 @@ let check_dataflow ~modname (m : module_decl) (_g : graph) :
     Lint.finding list =
   Dataflow.extra_findings ~modname m
 
+(* Per-output backward-cone sizes (the [cone] rule family): how much of
+   the module each output port transitively depends on — the slicing
+   opportunity `cirfix slice` / `repair --slice` exploits. Outputs are
+   reported name-sorted, anchored at the port declaration. *)
+let check_cone ?design ~modname (m : module_decl) (_g : graph) :
+    Lint.finding list =
+  let total_size = Ast_utils.module_size m in
+  Slice.output_ports m |> List.sort compare
+  |> List.filter_map (fun o ->
+         let plan = Slice.slice ?design m ~outputs:[ o ] in
+         if plan.Slice.sl_nodes_total = 0 then None
+         else
+           let node =
+             List.find_map
+               (fun (item : item) ->
+                 match item.it with
+                 | PortDecl (Output, _, _, names) when List.mem o names ->
+                     Some item.iid
+                 | _ -> None)
+               m.items
+             |> Option.value ~default:m.mid
+           in
+           let pct =
+             if total_size = 0 then 100
+             else
+               100 * Ast_utils.module_size plan.Slice.sl_module / total_size
+           in
+           Some
+             (finding Lint.Warning "cone" ~modname node
+                "output %s: backward cone %d/%d nodes, %d/%d processes, %d%% \
+                 of design"
+                o
+                (List.length plan.Slice.sl_kept)
+                plan.Slice.sl_nodes_total plan.Slice.sl_procs_kept
+                plan.Slice.sl_procs_total pct))
+
 let check_module ?design ?(checks = all_checks) (m : module_decl) :
     Lint.finding list =
   let modname = m.mod_id in
@@ -673,13 +710,17 @@ let check_module ?design ?(checks = all_checks) (m : module_decl) :
       | Uninit_reg -> check_uninit_reg ~modname m g
       | Width -> check_width ?design ~modname m g
       | Const_cond -> check_const_cond ~modname m g
-      | Dataflow_facts -> check_dataflow ~modname m g)
+      | Dataflow_facts -> check_dataflow ~modname m g
+      | Cone -> check_cone ?design ~modname m g)
     checks
 
 let check_design (d : design) : (string * Lint.finding list) list =
   List.map (fun (m : module_decl) -> (m.mod_id, check_module ~design:d m)) d
 
 let screen ~checks (m : module_decl) : string option =
+  (* Cone findings are descriptive (every output has a cone), never a
+     reason to reject a mutant. *)
+  let checks = List.filter (fun c -> c <> Cone) checks in
   match check_module ?design:None ~checks m with
   | [] -> None
   | findings ->

@@ -61,6 +61,11 @@ type check =
       (** the remaining dataflow rules: constant-net, x-source,
           unreachable-code (case arms) and dead-assignment — severity
           [Warning] *)
+  | Cone
+      (** per-output backward-cone sizes over the {!Slice} graph
+          (nodes, processes, and fraction of the design each output
+          port depends on) — informational, severity [Warning]; keep it
+          out of screening check lists *)
 
 val all_checks : check list
 
@@ -79,4 +84,6 @@ val check_design : Ast.design -> (string * Lint.finding list) list
 val screen : checks:check list -> Ast.module_decl -> string option
 (** Pre-simulation mutant screening: run the given checks and return a
     one-line rejection reason if any finding fires ([Error]-severity
-    findings win over warnings), or [None] if the module passes. *)
+    findings win over warnings), or [None] if the module passes. The
+    informational {!Cone} check is always excluded — it fires on every
+    module with outputs and implies nothing about simulation outcome. *)
