@@ -1,0 +1,139 @@
+(* Bench regression guard: compare a freshly measured BENCH_sim.json /
+   BENCH_repair.json against the committed copies, direction-aware, with
+   a percentage tolerance. Throughput fields (per_sec, speedup) regress
+   when the fresh value falls below committed * (1 - tol); cost fields
+   (wall, seconds, _ms) regress when it rises above committed * (1 + tol).
+   Exits 1 on any regression, 0 otherwise.
+
+   Timing medians are hardware-sensitive, so this is an opt-in gate
+   (`dune build @bench-check`), not part of `dune runtest`: the committed
+   numbers are only meaningful as a baseline on comparable hardware.
+
+   Usage: compare.exe [--tolerance PCT] COMMITTED FRESH [COMMITTED FRESH ...] *)
+
+open Obs
+
+let tolerance = ref 25.0
+let regressions = ref 0
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let higher_better name = contains name "per_sec" || contains name "speedup"
+
+(* Sub-millisecond one-shot costs (compile_ms and friends) are jitter,
+   not signal, so only wall-clock style fields gate. *)
+let lower_better name = contains name "wall" || contains name "seconds"
+
+let read_json path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Json.parse text with
+  | Ok v -> v
+  | Error e -> Printf.eprintf "%s: parse error: %s\n" path e; exit 2
+
+(* Rows of a bench artifact: the per-project or per-scenario objects,
+   labelled stably so committed and fresh line up even if order moved. *)
+let rows v =
+  let of_key k = match Json.member k v with Some (Json.List l) -> l | _ -> [] in
+  match of_key "projects" with [] -> of_key "scenarios" | l -> l
+
+let row_label row =
+  let str k =
+    match Json.member k row with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let int k =
+    match Json.member k row with Some (Json.Int i) -> Some i | _ -> None
+  in
+  match (int "id", str "project") with
+  | Some id, Some p -> Printf.sprintf "%d:%s" id p
+  | None, Some p -> p
+  | Some id, None -> string_of_int id
+  | None, None -> "?"
+
+let gated_fields row =
+  match row with
+  | Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) ->
+          if not (higher_better k || lower_better k) then None
+          else Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+        fields
+  | _ -> []
+
+let check ~label ~field ~committed ~fresh =
+  let tol = !tolerance /. 100.0 in
+  let delta =
+    if committed = 0.0 then 0.0 else (fresh -. committed) /. committed *. 100.0
+  in
+  let worse =
+    if higher_better field then fresh < committed *. (1.0 -. tol)
+    else fresh > committed *. (1.0 +. tol)
+  in
+  let verdict =
+    if worse then (incr regressions; "REGRESSION")
+    else if abs_float delta > !tolerance then "improved"
+    else "ok"
+  in
+  Printf.printf "  %-42s %12.2f %12.2f %+7.1f%%  %s\n"
+    (label ^ "." ^ field) committed fresh delta verdict
+
+let compare_pair committed_path fresh_path =
+  Printf.printf "%s vs %s (tolerance +/-%.0f%%)\n" committed_path fresh_path
+    !tolerance;
+  let committed = read_json committed_path and fresh = read_json fresh_path in
+  (* Top-level gated scalars (e.g. median_speedup). *)
+  (match committed with
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match (Json.to_float_opt v, Json.member k fresh) with
+          | Some c, Some fv when higher_better k || lower_better k -> (
+              match Json.to_float_opt fv with
+              | Some f -> check ~label:"(top)" ~field:k ~committed:c ~fresh:f
+              | None -> ())
+          | _ -> ())
+        fields
+  | _ -> ());
+  let fresh_rows = rows fresh in
+  List.iter
+    (fun crow ->
+      let label = row_label crow in
+      match List.find_opt (fun r -> row_label r = label) fresh_rows with
+      | None ->
+          (* Quick-mode runs may measure a subset; absence is not a
+             regression, but say so rather than silently narrowing. *)
+          Printf.printf "  %-42s (not in fresh run, skipped)\n" label
+      | Some frow ->
+          List.iter
+            (fun (field, c) ->
+              match Json.member field frow with
+              | Some v -> (
+                  match Json.to_float_opt v with
+                  | Some f -> check ~label ~field ~committed:c ~fresh:f
+                  | None -> ())
+              | None -> ())
+            (gated_fields crow))
+    (rows committed)
+
+let () =
+  let rec parse_args = function
+    | "--tolerance" :: pct :: rest ->
+        tolerance := float_of_string pct;
+        parse_args rest
+    | committed :: fresh :: rest ->
+        compare_pair committed fresh;
+        parse_args rest
+    | [] -> ()
+    | [ odd ] ->
+        Printf.eprintf "unpaired argument %s (expected COMMITTED FRESH pairs)\n"
+          odd;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !regressions > 0 then (
+    Printf.printf "\n%d regression(s) beyond +/-%.0f%%\n" !regressions
+      !tolerance;
+    exit 1)
+  else Printf.printf "\nno regressions beyond +/-%.0f%%\n" !tolerance

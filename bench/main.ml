@@ -984,14 +984,15 @@ let perf () =
 (* Observability overhead (BENCH_obs.json)                              *)
 (* ------------------------------------------------------------------ *)
 
-(* The disabled-sink contract: observability instrumentation costs a
-   boolean test per site when no sink is active. Measured as min-of-N
-   wall time of the same seeded repair on the smallest scenario in three
-   modes: baseline (sinks never enabled), enabled (trace + metrics +
-   journal all active), and disabled-again after use. With --check (the
-   @obs-overhead dune alias), fails if disabled-again exceeds baseline
-   by more than 2% — with an absolute floor so sub-millisecond scheduler
-   jitter cannot fail the gate. *)
+(* The disabled-sink contract: observability instrumentation (trace,
+   metrics, journal, AND the self-profiler) costs a boolean test per
+   site when no sink is active. Measured as min-of-N wall time of the
+   same seeded repair on the smallest scenario in three modes: baseline
+   (sinks never enabled), enabled (all four sinks active), and
+   disabled-again after use. With --check (the @obs-overhead dune
+   alias), fails if disabled-again exceeds baseline by more than 2% —
+   with an absolute floor so sub-millisecond scheduler jitter cannot
+   fail the gate. *)
 let obs_overhead_check = ref false
 
 let obs_overhead () =
@@ -1027,13 +1028,18 @@ let obs_overhead () =
   let journal_tmp = Filename.temp_file "cirfix_obs" ".jsonl" in
   let enabled_records = ref 0 in
   let enabled_events = ref 0 in
+  let enabled_profile_paths = ref 0 in
   let run_enabled () =
     Obs.Trace.start ();
     Obs.Metrics.set_enabled true;
     Obs.Journal.open_file journal_tmp;
+    Obs.Profile.start ();
     ignore (Cirfix.Gp.repair cfg prob);
     enabled_records := Obs.Journal.records ();
     enabled_events := Obs.Trace.events ();
+    Obs.Profile.stop ();
+    enabled_profile_paths :=
+      List.length (Obs.Profile.report ()).Obs.Profile.r_paths;
     Obs.Journal.close ();
     Obs.Metrics.set_enabled false;
     Obs.Metrics.reset ();
@@ -1049,8 +1055,8 @@ let obs_overhead () =
     (t_enabled *. 1e3) (ratio t_enabled);
   Printf.printf "disabled again after use:    %8.2f ms  (%.2fx)\n"
     (t_disabled *. 1e3) (ratio t_disabled);
-  Printf.printf "enabled run: %d journal records, %d trace events\n"
-    !enabled_records !enabled_events;
+  Printf.printf "enabled run: %d journal records, %d trace events, %d profile paths\n"
+    !enabled_records !enabled_events !enabled_profile_paths;
   let json =
     Printf.sprintf
       "{\n\
@@ -1060,10 +1066,12 @@ let obs_overhead () =
       \  \"disabled_ms\": %.3f,\n\
       \  \"disabled_overhead\": %.4f,\n\
       \  \"journal_records\": %d,\n\
-      \  \"trace_events\": %d\n\
+      \  \"trace_events\": %d,\n\
+      \  \"profile_paths\": %d\n\
        }\n"
       d.id (t_baseline *. 1e3) (t_enabled *. 1e3) (t_disabled *. 1e3)
       (ratio t_disabled) !enabled_records !enabled_events
+      !enabled_profile_paths
   in
   Out_channel.with_open_text "BENCH_obs.json" (fun oc -> output_string oc json);
   Printf.printf "wrote BENCH_obs.json\n";
@@ -1073,6 +1081,9 @@ let obs_overhead () =
       exit 1);
     if !enabled_events = 0 then (
       Printf.eprintf "obs-overhead: enabled run produced no trace events\n";
+      exit 1);
+    if !enabled_profile_paths = 0 then (
+      Printf.eprintf "obs-overhead: enabled run produced no profile paths\n";
       exit 1);
     if
       ratio t_disabled > 1.02
@@ -1227,6 +1238,157 @@ let sim_perf () =
   Printf.printf "wrote BENCH_sim.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Simulator self-profile: per-edge cost ledger (BENCH_profile.json)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Where each simulated nanosecond goes, per recorded clock edge, for
+   every suite project on both backends: the self-profiler's per-region
+   ledger (elab / setup / comb / active / nba / monitor / advance /
+   collect), attribution coverage against measured wall time, and the
+   hottest process frames. One unprofiled warm-up fills the artifact
+   cache so a compiled cache miss does not pollute the ledger. *)
+let profile_perf () =
+  section "Simulator self-profile: per-edge cost ledger (writes BENCH_profile.json)";
+  let runs = if !quick then 10 else 30 in
+  let profile_backend design spec backend =
+    let run () = Sim.Simulate.run ~backend design spec in
+    match run () with
+    | Error (Sim.Simulate.Elab_failure e) -> Error e
+    | Ok warm ->
+        Obs.Profile.start ();
+        let t0 = Obs.Clock.now_ns () in
+        let last = ref warm in
+        for _ = 1 to runs do
+          match run () with
+          | Ok r -> last := r
+          | Error (Sim.Simulate.Elab_failure e) -> failwith e
+        done;
+        let wall_ns = Obs.Clock.now_ns () - t0 in
+        Obs.Profile.stop ();
+        let report = Obs.Profile.report () in
+        let edges = runs * List.length !last.Sim.Simulate.trace in
+        Ok
+          ( Sim.Simulate.backend_used_to_string !last.Sim.Simulate.backend_used,
+            report, wall_ns, edges )
+  in
+  let backend_json name = function
+    | Error e ->
+        Obs.Json.Obj
+          [
+            ("backend", Obs.Json.Str name);
+            ("error", Obs.Json.Str e);
+          ]
+    | Ok (used, (report : Obs.Profile.report), wall_ns, edges) ->
+        let per_edge ns =
+          if edges = 0 then 0. else float_of_int ns /. float_of_int edges
+        in
+        let rows select =
+          Obs.Json.List
+            (List.map
+               (fun (n, ns, count) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str n);
+                     ("ns_per_edge", Obs.Json.Float (per_edge ns));
+                     ("count", Obs.Json.Int count);
+                   ])
+               select)
+        in
+        let is_proc n =
+          List.exists
+            (fun pre ->
+              String.length n > String.length pre
+              && String.sub n 0 (String.length pre) = pre)
+            [ "proc:"; "init:"; "commit:"; "gen:"; "node:" ]
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        Obs.Json.Obj
+          [
+            ("backend", Obs.Json.Str name);
+            ("backend_used", Obs.Json.Str used);
+            ("edges", Obs.Json.Int edges);
+            ("wall_ns", Obs.Json.Int wall_ns);
+            ("attributed_ns", Obs.Json.Int report.r_total_ns);
+            ( "coverage",
+              Obs.Json.Float
+                (if wall_ns = 0 then 1.0
+                 else float_of_int report.r_total_ns /. float_of_int wall_ns)
+            );
+            ("ns_per_edge", Obs.Json.Float (per_edge report.r_total_ns));
+            ("regions", rows (Obs.Profile.regions report));
+            ( "top_processes",
+              rows
+                (take 5
+                   (List.filter
+                      (fun (n, _, _) -> is_proc n)
+                      (Obs.Profile.by_leaf report))) );
+          ]
+  in
+  Printf.printf "%-22s %10s %14s %14s %9s %9s\n" "project" "edges/run"
+    "event ns/edge" "comp ns/edge" "cov(ev)" "cov(cp)";
+  let rows =
+    List.map
+      (fun (p : Bench_suite.Projects.t) ->
+        let spec = Bench_suite.Projects.spec p in
+        let src =
+          Bench_suite.Projects.design_source p ^ "\n"
+          ^ Bench_suite.Projects.tb_source p
+        in
+        let design = Result.get_ok (Verilog.Parser.parse_design_result src) in
+        let ev = profile_backend design spec Sim.Simulate.Event in
+        let cp = profile_backend design spec Sim.Simulate.Compiled in
+        let cell = function
+          | Error _ -> ("-", "-")
+          | Ok (_, (r : Obs.Profile.report), wall_ns, edges) ->
+              ( (if edges = 0 then "-"
+                 else
+                   Printf.sprintf "%.1f"
+                     (float_of_int r.r_total_ns /. float_of_int edges)),
+                if wall_ns = 0 then "-"
+                else
+                  Printf.sprintf "%.1f%%"
+                    (100. *. float_of_int r.r_total_ns /. float_of_int wall_ns)
+              )
+        in
+        let e_ns, e_cov = cell ev and c_ns, c_cov = cell cp in
+        let edges_per_run =
+          match ev with Ok (_, _, _, e) -> e / runs | Error _ -> 0
+        in
+        Printf.printf "%-22s %10d %14s %14s %9s %9s\n" p.name edges_per_run
+          e_ns c_ns e_cov c_cov;
+        Obs.Json.Obj
+          [
+            ("project", Obs.Json.Str p.name);
+            ("edges_per_run", Obs.Json.Int edges_per_run);
+            ( "backends",
+              Obs.Json.List [ backend_json "event" ev; backend_json "compiled" cp ]
+            );
+          ])
+      Bench_suite.Projects.all
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("runs_per_measurement", Obs.Json.Int runs);
+        ( "note",
+          Obs.Json.Str
+            "ns/edge = profiler-attributed nanoseconds per recorded clock \
+             edge; coverage = attributed / measured wall time over the \
+             profiled runs. Regions are inclusive of nested process and \
+             node frames; top_processes are self-time leaves." );
+        ("projects", Obs.Json.List rows);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_profile.json" (fun oc ->
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_profile.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let artifacts =
   [
@@ -1248,6 +1410,7 @@ let artifacts =
     ("slice-perf", slice_perf);
     ("race-audit", race_audit);
     ("obs-overhead", obs_overhead);
+    ("profile-perf", profile_perf);
     ("perf", perf);
   ]
 

@@ -127,19 +127,77 @@ let obs_args =
              batch) here, flushed per record so a running repair can be\n\
              followed with tail -f.")
   in
-  Term.(const (fun t m j -> (t, m, j)) $ trace $ metrics $ journal)
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Self-profile the run and write the report (per-stack time,\n\
+             GC deltas) as JSON here; a sibling FILE.folded file holds\n\
+             FlameGraph/speedscope folded stacks.")
+  in
+  Term.(const (fun t m j p -> (t, m, j, p)) $ trace $ metrics $ journal $ profile)
+
+(* The journal summary of a profiled run: per-region totals and GC work,
+   small enough to sit beside the other journal records. The full path
+   tree goes to the --profile file, not the journal, and the record is
+   only emitted when profiling was requested, so default journals stay
+   byte-identical across parallelism degrees. *)
+let profile_journal_record (r : Obs.Profile.report) =
+  [
+    ("type", Obs.Json.Str "profile");
+    ("total_ns", Obs.Json.Int r.r_total_ns);
+    ( "regions",
+      Obs.Json.List
+        (List.map
+           (fun (name, ns, count) ->
+             Obs.Json.Obj
+               [
+                 ("name", Obs.Json.Str name);
+                 ("ns", Obs.Json.Int ns);
+                 ("count", Obs.Json.Int count);
+               ])
+           (Obs.Profile.regions r)) );
+    ( "gc",
+      Obs.Json.Obj
+        [
+          ("minor_words", Obs.Json.Float r.r_gc.gd_minor_words);
+          ("promoted_words", Obs.Json.Float r.r_gc.gd_promoted_words);
+          ("major_words", Obs.Json.Float r.r_gc.gd_major_words);
+          ("minor_collections", Obs.Json.Int r.r_gc.gd_minor_collections);
+          ("major_collections", Obs.Json.Int r.r_gc.gd_major_collections);
+        ] );
+  ]
 
 (* Run [f] with the requested sinks open, then flush them. [f] returns an
    exit code rather than calling [exit] so the sinks are written even on
    failure paths ([exit] would skip the cleanup). *)
-let with_obs ?(detail = false) (trace, metrics, journal) (f : unit -> int) :
-    unit =
+let with_obs ?(detail = false) (trace, metrics, journal, profile)
+    (f : unit -> int) : unit =
   (match trace with None -> () | Some _ -> Obs.Trace.start ~detail ());
   (match metrics with None -> () | Some _ -> Obs.Metrics.set_enabled true);
   (match journal with None -> () | Some path -> Obs.Journal.open_file path);
+  (match profile with None -> () | Some _ -> Obs.Profile.start ());
   let code =
     Fun.protect
       ~finally:(fun () ->
+        (match profile with
+        | None -> ()
+        | Some path ->
+            Obs.Profile.stop ();
+            let r = Obs.Profile.report () in
+            List.iter
+              (fun msg -> Printf.eprintf "profile imbalance: %s\n" msg)
+              r.Obs.Profile.r_imbalances;
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Obs.Json.to_string (Obs.Profile.to_json r));
+                output_char oc '\n');
+            Out_channel.with_open_text (path ^ ".folded") (fun oc ->
+                output_string oc (Obs.Profile.folded r));
+            if Obs.Journal.enabled () then
+              Obs.Journal.emit (profile_journal_record r);
+            Printf.eprintf "profile written to %s (+.folded)\n%!" path);
         (match trace with
         | None -> ()
         | Some path ->
@@ -594,9 +652,48 @@ let summary_table ~probes ~lookups ~memo_hits ~semantic_hits ~dead_edit_skips
       ("wall time", Printf.sprintf "%.1f  s" wall_seconds);
     ]
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live status line on stderr (generation/depth, best fitness,\n\
+           sims/sec, memo-hit rate, elapsed). Only when stderr is a TTY;\n\
+           silent when piped.")
+
+(* Returns [(show, clear)]. [show] rewrites one stderr status line,
+   throttled to ~4 Hz so per-candidate callbacks cost a clock read and a
+   compare; [clear] erases it before the final summary prints. Both are
+   no-ops unless requested AND stderr is a terminal, so piped or logged
+   runs see no control characters. *)
+let make_progress ~enabled =
+  if not (enabled && Unix.isatty Unix.stderr) then ((fun _ -> ()), fun () -> ())
+  else begin
+    let last = ref neg_infinity in
+    let shown = ref false in
+    let show line =
+      let now = Unix.gettimeofday () in
+      if now -. !last >= 0.25 then begin
+        last := now;
+        shown := true;
+        Printf.eprintf "\r\027[K%s%!" line
+      end
+    in
+    let clear () =
+      if !shown then begin
+        shown := false;
+        Printf.eprintf "\r\027[K%!"
+      end
+    in
+    (show, clear)
+  end
+
+let memo_pct ~memo_hits ~lookups =
+  if lookups = 0 then 0. else 100. *. float_of_int memo_hits /. float_of_int lookups
+
 let repair design golden testbench target top clock dut seed pop_size
     generations max_probes wall jobs backend race_screen race_check no_prune
-    check_pruning slice output obs =
+    check_pruning slice output progress obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -622,11 +719,29 @@ let repair design golden testbench target top clock dut seed pop_size
       slice;
     }
   in
+  let show_progress, clear_progress = make_progress ~enabled:progress in
+  let live = progress && Unix.isatty Unix.stderr in
+  let t_start = Unix.gettimeofday () in
   let on_generation (g : Cirfix.Gp.generation_stats) =
-    Printf.eprintf "gen %2d: best %.3f mean %.3f (%d probes)\n%!" g.gen
-      g.best_fitness g.mean_fitness g.probes_so_far
+    (* The status line replaces the per-generation log when live; both on
+       the same stream would interleave mid-line. *)
+    if not live then
+      Printf.eprintf "gen %2d: best %.3f mean %.3f (%d probes)\n%!" g.gen
+        g.best_fitness g.mean_fitness g.probes_so_far
+    else begin
+      let elapsed = Unix.gettimeofday () -. t_start in
+      show_progress
+        (Printf.sprintf
+           "gen %d  best %.3f  %.0f sims/s  memo %.0f%%  %.1fs elapsed" g.gen
+           g.best_fitness
+           (Cirfix.Stats.sims_per_sec ~probes:g.probes_so_far
+              ~wall_seconds:elapsed)
+           (memo_pct ~memo_hits:g.memo_hits_so_far ~lookups:g.lookups_so_far)
+           elapsed)
+    end
   in
   let r = Cirfix.Gp.repair ~on_generation cfg problem in
+  clear_progress ();
   Printf.printf "initial fitness: %.4f\n" r.initial_fitness;
   print_endline
     (Cirfix.Stats.kv_table
@@ -736,12 +851,12 @@ let repair_cmd =
           & opt (some string) None
           & info [ "output"; "o" ] ~docv:"FILE"
               ~doc:"Write the repaired module here.")
-      $ obs_args)
+      $ progress_arg $ obs_args)
 
 (* --- brute ------------------------------------------------------------------ *)
 
 let brute design golden testbench target top clock dut max_depth max_probes
-    wall jobs backend race_screen no_prune check_pruning slice obs =
+    wall jobs backend race_screen no_prune check_pruning slice progress obs =
   with_obs obs @@ fun () ->
   let faulty = or_die (read_file design)
   and golden_src = or_die (read_file golden)
@@ -763,7 +878,21 @@ let brute design golden testbench target top clock dut max_depth max_probes
       slice;
     }
   in
-  let r = Cirfix.Brute_force.search ~max_depth cfg problem in
+  let show_progress, clear_progress = make_progress ~enabled:progress in
+  let t_start = Unix.gettimeofday () in
+  let on_progress (p : Cirfix.Brute_force.progress) =
+    let elapsed = Unix.gettimeofday () -. t_start in
+    show_progress
+      (Printf.sprintf
+         "depth %d  tried %d  best %.3f  %.0f sims/s  memo %.0f%%  %.1fs \
+          elapsed"
+         p.bp_depth p.bp_tried p.bp_best
+         (Cirfix.Stats.sims_per_sec ~probes:p.bp_probes ~wall_seconds:elapsed)
+         (memo_pct ~memo_hits:p.bp_memo_hits ~lookups:p.bp_lookups)
+         elapsed)
+  in
+  let r = Cirfix.Brute_force.search ~max_depth ~on_progress cfg problem in
+  clear_progress ();
   Printf.printf "candidates tried: %d (depth <= %d)\n" r.candidates_tried
     max_depth;
   print_endline
@@ -821,8 +950,289 @@ let brute_cmd =
               ~doc:
                 "Simulate statically-pruned candidates anyway and fail on\n\
                  any fitness mismatch (differential testing of the pruner).")
-      $ slice_flag
-      $ obs_args)
+      $ slice_flag $ progress_arg $ obs_args)
+
+(* --- profile ---------------------------------------------------------------- *)
+
+(* Canonical ledger row order: pipeline position, not alphabetical, so
+   event and compiled columns line up on the same phases. *)
+let region_order =
+  [ "elab"; "setup"; "comb"; "active"; "nba"; "monitor"; "advance"; "collect" ]
+
+let is_proc_frame name =
+  List.exists
+    (fun pre ->
+      String.length name > String.length pre
+      && String.sub name 0 (String.length pre) = pre)
+    [ "proc:"; "init:"; "commit:"; "gen:"; "node:" ]
+
+(* One profiled measurement of a backend: a warm-up run (unprofiled, so a
+   compiled cache miss does not pollute the ledger), then [runs] profiled
+   runs under one wall-clock measurement. *)
+type backend_profile = {
+  pb_name : string;
+  pb_used : string; (* backend actually used (fallbacks are visible) *)
+  pb_report : Obs.Profile.report;
+  pb_wall_ns : int;
+  pb_edges : int; (* recorder samples per run x runs *)
+}
+
+let profile_backend ~runs design spec backend name : backend_profile =
+  let run () =
+    match Sim.Simulate.run ~backend design spec with
+    | Error (Sim.Simulate.Elab_failure m) ->
+        or_die (Error (Printf.sprintf "elaboration failed: %s" m))
+    | Ok r -> r
+  in
+  let warm = run () in
+  Obs.Profile.start ();
+  let t0 = Obs.Clock.now_ns () in
+  let last = ref warm in
+  for _ = 1 to runs do
+    last := run ()
+  done;
+  let wall_ns = Obs.Clock.now_ns () - t0 in
+  Obs.Profile.stop ();
+  {
+    pb_name = name;
+    pb_used = Sim.Simulate.backend_used_to_string !last.Sim.Simulate.backend_used;
+    pb_report = Obs.Profile.report ();
+    pb_wall_ns = wall_ns;
+    pb_edges = runs * List.length !last.Sim.Simulate.trace;
+  }
+
+let coverage_of (b : backend_profile) =
+  if b.pb_wall_ns = 0 then 1.0
+  else float_of_int b.pb_report.r_total_ns /. float_of_int b.pb_wall_ns
+
+(* Rows of (label, per-backend ns/edge cells), over the union of names
+   seen by any backend, canonical regions first then by time. *)
+let ledger_rows ~select (backends : backend_profile list) =
+  let per_backend =
+    List.map (fun b -> (b, select b.pb_report)) backends
+  in
+  let names =
+    List.concat_map (fun (_, rows) -> List.map (fun (n, _, _) -> n) rows)
+      per_backend
+    |> List.sort_uniq compare
+  in
+  let rank n =
+    let rec idx i = function
+      | [] -> List.length region_order
+      | r :: _ when r = n -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 region_order
+  in
+  let time_of n =
+    List.fold_left
+      (fun acc (_, rows) ->
+        List.fold_left
+          (fun acc (n', ns, _) -> if n' = n then max acc ns else acc)
+          acc rows)
+      0 per_backend
+  in
+  List.sort
+    (fun a b ->
+      match compare (rank a) (rank b) with
+      | 0 -> compare (time_of b, a) (time_of a, b)
+      | c -> c)
+    names
+  |> List.map (fun n ->
+         ( n,
+           List.map
+             (fun (b, rows) ->
+               let ns =
+                 List.fold_left
+                   (fun acc (n', ns, _) -> if n' = n then acc + ns else acc)
+                   0 rows
+               in
+               if b.pb_edges = 0 then None
+               else Some (float_of_int ns /. float_of_int b.pb_edges))
+             per_backend ))
+
+let print_ledger (backends : backend_profile list) ~top_k =
+  let cell = function None -> "-" | Some v -> Printf.sprintf "%.1f" v in
+  let table title rows =
+    let header =
+      ("", List.map (fun b -> b.pb_name ^ " ns/edge") backends)
+    in
+    let widths =
+      List.mapi
+        (fun i _ ->
+          List.fold_left
+            (fun acc (_, cells) -> max acc (String.length (List.nth cells i)))
+            (String.length (List.nth (snd header) i))
+            rows)
+        backends
+    in
+    let name_w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+    in
+    Printf.printf "%s\n" title;
+    let line n cells =
+      Printf.printf "  %-*s" name_w n;
+      List.iteri
+        (fun i c -> Printf.printf "  %*s" (List.nth widths i) c)
+        cells;
+      print_newline ()
+    in
+    line (fst header) (snd header);
+    List.iter (fun (n, cells) -> line n cells) rows;
+    print_newline ()
+  in
+  table "per-edge cost ledger (by scheduler region)"
+    (List.map
+       (fun (n, cells) -> (n, List.map cell cells))
+       (ledger_rows ~select:Obs.Profile.regions backends));
+  let proc_rows =
+    ledger_rows
+      ~select:(fun r ->
+        List.filter (fun (n, _, _) -> is_proc_frame n) (Obs.Profile.by_leaf r))
+      backends
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  table
+    (Printf.sprintf "top %d process/node frames (self time)" top_k)
+    (List.map (fun (n, cells) -> (n, List.map cell cells)) (take top_k proc_rows));
+  List.iter
+    (fun b ->
+      Printf.printf
+        "%s: %d edges, %.2f ms wall, %.2f ms attributed (%.1f%% coverage, \
+         backend: %s)\n"
+        b.pb_name b.pb_edges
+        (float_of_int b.pb_wall_ns /. 1e6)
+        (float_of_int b.pb_report.r_total_ns /. 1e6)
+        (100. *. coverage_of b) b.pb_used)
+    backends
+
+let profile_json (backends : backend_profile list) ~runs =
+  Obs.Json.Obj
+    [
+      ("runs", Obs.Json.Int runs);
+      ( "backends",
+        Obs.Json.List
+          (List.map
+             (fun b ->
+               Obs.Json.Obj
+                 [
+                   ("backend", Obs.Json.Str b.pb_name);
+                   ("backend_used", Obs.Json.Str b.pb_used);
+                   ("edges", Obs.Json.Int b.pb_edges);
+                   ("wall_ns", Obs.Json.Int b.pb_wall_ns);
+                   ("coverage", Obs.Json.Float (coverage_of b));
+                   ("report", Obs.Profile.to_json b.pb_report);
+                 ])
+             backends) );
+    ]
+
+let profile_run design testbench top clock dut which runs top_k folded out
+    check =
+  let d = or_die (read_file design) and tb = or_die (read_file testbench) in
+  let parsed =
+    or_die (Verilog.Parser.parse_design_result (d ^ "\n" ^ tb))
+  in
+  let spec = spec_of top clock dut in
+  let wanted =
+    match which with
+    | `Both ->
+        [ (Sim.Simulate.Event, "event"); (Sim.Simulate.Compiled, "compiled") ]
+    | `Event -> [ (Sim.Simulate.Event, "event") ]
+    | `Compiled -> [ (Sim.Simulate.Compiled, "compiled") ]
+  in
+  let backends =
+    List.map
+      (fun (backend, name) -> profile_backend ~runs parsed spec backend name)
+      wanted
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun msg -> Printf.eprintf "profile imbalance (%s): %s\n" b.pb_name msg)
+        b.pb_report.Obs.Profile.r_imbalances)
+    backends;
+  print_ledger backends ~top_k;
+  (match folded with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun (p : Obs.Profile.path) ->
+                  Printf.fprintf oc "%s;%s %d\n" b.pb_name
+                    (String.concat ";" p.p_stack)
+                    p.p_ns)
+                b.pb_report.r_paths)
+            backends);
+      Printf.printf "folded stacks written to %s\n" path);
+  (match out with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Obs.Json.to_string (profile_json backends ~runs));
+          output_char oc '\n');
+      Printf.printf "profile JSON written to %s\n" path);
+  if check then begin
+    let bad = List.filter (fun b -> coverage_of b < 0.9) backends in
+    List.iter
+      (fun b ->
+        Printf.eprintf "coverage check failed: %s attributes %.1f%% < 90%%\n"
+          b.pb_name (100. *. coverage_of b))
+      bad;
+    if bad <> [] then exit 1
+  end;
+  0
+
+let profile_cmd =
+  let doc =
+    "Self-profile the simulator on a design: run it N times per backend\n\
+     and print the per-edge cost ledger (ns per recorded clock edge, by\n\
+     scheduler region and by process), event vs compiled side by side."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const (fun d t top clock dut which runs top_k folded out check ->
+          ignore (profile_run d t top clock dut which runs top_k folded out check))
+      $ design_arg $ testbench_arg $ top_arg $ clock_arg $ dut_arg
+      $ Arg.(
+          value
+          & opt
+              (enum [ ("both", `Both); ("event", `Event); ("compiled", `Compiled) ])
+              `Both
+          & info [ "backend" ] ~docv:"BACKEND"
+              ~doc:"Which backend(s) to profile: $(b,event), $(b,compiled),\n\
+                    or $(b,both) (default).")
+      $ Arg.(
+          value & opt int 10
+          & info [ "runs" ] ~docv:"N"
+              ~doc:"Profiled simulations per backend (after one unprofiled\n\
+                    warm-up).")
+      $ Arg.(
+          value & opt int 10
+          & info [ "top-k" ] ~docv:"K" ~doc:"Process frames to show.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "folded" ] ~docv:"FILE"
+              ~doc:
+                "Write FlameGraph/speedscope folded stacks here, one line\n\
+                 per stack prefixed with the backend name.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Write the full ledger (reports, coverage) as JSON here.")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Exit nonzero unless every profiled backend attributes at\n\
+                 least 90% of measured wall time."))
 
 (* --- coverage ---------------------------------------------------------------------- *)
 
@@ -1107,6 +1517,7 @@ let () =
             slice_cmd;
             repair_cmd;
             brute_cmd;
+            profile_cmd;
             scenarios_cmd;
             lint_cmd;
             analyze_cmd;

@@ -28,6 +28,15 @@ type result = {
   stitched_verifies : int; (* whole-design re-verifications of winners *)
 }
 
+type progress = {
+  bp_depth : int;
+  bp_tried : int;
+  bp_best : float;
+  bp_probes : int;
+  bp_lookups : int;
+  bp_memo_hits : int;
+}
+
 (* Journal cadence: one batch record per this many committed candidates.
    A fixed quantum (rather than the pool's chunk size, which scales with
    [jobs]) keeps the record stream byte-identical across parallelism
@@ -73,7 +82,8 @@ let single_edits (m : module_decl) : Patch.edit list =
   in
   deletes @ replaces @ inserts @ templates
 
-let search ?(max_depth = 2) (cfg : Config.t) (whole_problem : Problem.t) :
+let search ?(max_depth = 2) ?on_progress (cfg : Config.t)
+    (whole_problem : Problem.t) :
     result =
   (* Slice-based search (see Gp.repair): the enumeration runs over the
      sliced module — fewer statements, so fewer single edits and cheaper
@@ -181,7 +191,19 @@ let search ?(max_depth = 2) (cfg : Config.t) (whole_problem : Problem.t) :
               if o.fitness > !best then best := o.fitness;
               if o.fitness >= 1.0 && stitched_ok p then found := Some p;
               if Obs.Journal.enabled () && !tried mod journal_quantum = 0 then
-                journal_batch ~depth:!d))
+                journal_batch ~depth:!d;
+              Option.iter
+                (fun f ->
+                  f
+                    {
+                      bp_depth = !d;
+                      bp_tried = !tried;
+                      bp_best = !best;
+                      bp_probes = ev.probes;
+                      bp_lookups = ev.lookups;
+                      bp_memo_hits = Evaluate.memo_hits ev;
+                    })
+                on_progress))
           chunk;
         if Obs.Trace.enabled () then
           Obs.Trace.complete ~cat:"brute"

@@ -45,6 +45,17 @@ type result = {
           and re-verified on the full oracle before being reported *)
 }
 
+(** Live search progress, as seen by the sequential commit loop; the
+    values are independent of the parallelism degree. *)
+type progress = {
+  bp_depth : int;
+  bp_tried : int;
+  bp_best : float;
+  bp_probes : int;
+  bp_lookups : int;
+  bp_memo_hits : int;
+}
+
 (** Every single edit over the module: deletes, same-class replacements,
     insertions, and template applications at each eligible node. *)
 val single_edits : Verilog.Ast.module_decl -> Patch.edit list
@@ -52,5 +63,8 @@ val single_edits : Verilog.Ast.module_decl -> Patch.edit list
 (** Enumerate patches up to [max_depth] edits (default 2) under the
     configuration's probe and wall-clock budgets. The sweep is scored in
     chunks across [cfg.jobs] domains; enumeration order, the repair found,
-    and all counters are independent of the parallelism degree. *)
-val search : ?max_depth:int -> Config.t -> Problem.t -> result
+    and all counters are independent of the parallelism degree.
+    [on_progress] fires after every committed candidate. *)
+val search :
+  ?max_depth:int -> ?on_progress:(progress -> unit) -> Config.t -> Problem.t ->
+  result

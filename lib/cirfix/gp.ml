@@ -32,6 +32,8 @@ type generation_stats = {
   best_fitness : float;
   mean_fitness : float;
   probes_so_far : int;
+  lookups_so_far : int;
+  memo_hits_so_far : int;
 }
 
 type result = {
@@ -582,6 +584,8 @@ let repair ?(on_generation : (generation_stats -> unit) option)
           | None -> List.fold_left Float.max 0. fits);
         mean_fitness = mean fits;
         probes_so_far = ev.probes;
+        lookups_so_far = ev.lookups;
+        memo_hits_so_far = Evaluate.memo_hits ev;
       }
     in
     gen_stats := stats :: !gen_stats;

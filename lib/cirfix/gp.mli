@@ -10,6 +10,8 @@ type generation_stats = {
   best_fitness : float;
   mean_fitness : float;
   probes_so_far : int;
+  lookups_so_far : int;  (** evaluations requested so far, memoized or not *)
+  memo_hits_so_far : int;  (** lookups absorbed by the memo cache so far *)
 }
 
 type result = {

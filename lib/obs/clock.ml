@@ -1,17 +1,9 @@
-(* Monotonic-by-construction nanosecond clock. The stdlib offers no raw
-   monotonic source, so we take [Unix.gettimeofday] and clamp it to be
-   non-decreasing across all domains (a CAS loop on the last value handed
-   out), which is the property the span tracer actually needs: a span can
-   never end before it starts and trace timestamps never run backwards. *)
+(* Nanosecond monotonic clock. CLOCK_MONOTONIC via bechamel's [@noalloc]
+   stub: system-wide monotone, so a span can never end before it starts
+   and timestamps never run backwards across domains. The previous
+   implementation clamped [Unix.gettimeofday] through a CAS loop, which
+   capped resolution at a microsecond and serialized every reader; the
+   profiler's enter/leave hot path needs both the nanoseconds and the
+   absence of contention. *)
 
-let last = Atomic.make 0
-
-let now_ns () : int =
-  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
-  let rec clamp () =
-    let l = Atomic.get last in
-    if t <= l then l
-    else if Atomic.compare_and_set last l t then t
-    else clamp ()
-  in
-  clamp ()
+let now_ns () : int = Int64.to_int (Monotonic_clock.now ())

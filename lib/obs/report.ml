@@ -615,6 +615,96 @@ let render_lineage (records : Json.t list) : string =
       Buffer.add_string buf "</ul>\n";
       Buffer.contents buf
 
+(* Profile summary record (--profile): the per-region cost ledger as an
+   icicle bar (box width proportional to time) plus exact tables. The
+   record only exists when the run was profiled. *)
+let render_profiling (records : Json.t list) : string =
+  match last_of_type "profile" records with
+  | None -> missing "profile (pass --profile)"
+  | Some p ->
+      let regions = list_of "regions" p in
+      let total = i_of "total_ns" p in
+      let buf = Buffer.create 1024 in
+      if regions <> [] && total > 0 then begin
+        (* One box per region on a fixed 640px band; labels go inside
+           when the box fits them, and the table below carries the exact
+           numbers either way. *)
+        let palette =
+          [|
+            "#2166ac"; "#4393c3"; "#92c5de"; "#d6604d"; "#f4a582"; "#b2182b";
+            "#888888"; "#bbbbbb";
+          |]
+        in
+        let w = 640. and h = 46. in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" \
+              role=\"img\">\n"
+             (f2 w) (f2 h) (f2 w) (f2 h));
+        let x = ref 0. in
+        List.iteri
+          (fun i r ->
+            let ns = i_of "ns" r in
+            let bw = float_of_int ns /. float_of_int total *. w in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%s\" y=\"8\" width=\"%s\" height=\"30\" \
+                  fill=\"%s\"><title>%s</title></rect>\n"
+                 (f2 !x) (f2 bw)
+                 palette.(i mod Array.length palette)
+                 (html_escape (s_of "name" r)));
+            let name = s_of "name" r in
+            if bw >= float_of_int (String.length name) *. 7.5 +. 6. then
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<text x=\"%s\" y=\"27\" font-size=\"11\" fill=\"#fff\" \
+                    text-anchor=\"middle\">%s</text>\n"
+                   (f2 (!x +. (bw /. 2.)))
+                   (html_escape name));
+            x := !x +. bw)
+          regions;
+        Buffer.add_string buf "</svg>\n"
+      end;
+      Buffer.add_string buf
+        (table
+           [ "region"; "time (ms)"; "share"; "entries" ]
+           (List.map
+              (fun r ->
+                let ns = i_of "ns" r in
+                [
+                  html_escape (s_of "name" r);
+                  f2 (float_of_int ns /. 1e6);
+                  (if total > 0 then
+                     Printf.sprintf "%.1f%%"
+                       (100. *. float_of_int ns /. float_of_int total)
+                   else "&mdash;");
+                  string_of_int (i_of "count" r);
+                ])
+              regions));
+      (match Json.member "gc" p with
+      | Some gc ->
+          Buffer.add_string buf "<h3>GC work during the profiled run</h3>\n";
+          Buffer.add_string buf
+            (table
+               [
+                 "minor words";
+                 "promoted words";
+                 "major words";
+                 "minor collections";
+                 "major collections";
+               ]
+               [
+                 [
+                   f2 (fl_of "minor_words" gc);
+                   f2 (fl_of "promoted_words" gc);
+                   f2 (fl_of "major_words" gc);
+                   string_of_int (i_of "minor_collections" gc);
+                   string_of_int (i_of "major_collections" gc);
+                 ];
+               ])
+      | None -> ());
+      Buffer.contents buf
+
 (* Optional metrics dump ({!Metrics.dump} JSON): counters, gauges, and
    histograms as tables. *)
 let render_metrics (metrics : Json.t option) : string =
@@ -726,6 +816,7 @@ let render ?(metrics : Json.t option) (records : Json.t list) : string =
   section buf "Per-signal attribution" (render_attribution records);
   section buf "Fault localization" (render_localization records);
   section buf "Patch lineage" (render_lineage records);
+  section buf "Profiling" (render_profiling records);
   section buf "Metrics" (render_metrics metrics);
   Buffer.add_string buf "</body>\n</html>\n";
   Buffer.contents buf

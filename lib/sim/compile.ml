@@ -53,6 +53,9 @@ type node = {
   n_seen : Vec.t array; (* support values at last evaluation *)
   mutable n_const : bool;
   mutable n_level : int;
+  mutable n_prof : Obs.Profile.site option;
+      (* profiler frame per evaluation; (re)assigned at every launch so a
+         cached artifact honours the current profiling state *)
 }
 
 (* One op of a delay-loop process body: either a suspend-free statement
@@ -75,13 +78,19 @@ type dop =
                clock/stimulus generator shape.  Self-reschedules via
                [Runtime.schedule_at]. *)
 type cproc =
-  | Pfiber of int option * (unit -> unit) (* pid, compiled body *)
+  | Pfiber of int option * string * (unit -> unit)
+    (* pid, profiler label, compiled body *)
   | Pedge of {
       pe_tick : unit -> unit; (* budget/coverage entry of the @() stmt *)
       pe_wait : Engine.wait; (* resolved, deduplicated sensitivity *)
       pe_body : unit -> unit; (* compiled suspend-free body *)
+      pe_label : string; (* profiler label, "commit:<scope>#<sid>" *)
     }
-  | Pdelay of { pd_entry : unit -> unit; pd_ops : dop array }
+  | Pdelay of {
+      pd_entry : unit -> unit;
+      pd_ops : dop array;
+      pd_label : string; (* profiler label, "gen:<scope>#<sid>" *)
+    }
 
 type artifact = {
   a_elab : Elaborate.elaborated;
@@ -719,10 +728,18 @@ let compile_always (env : env) (s : stmt) : cproc option =
                  pe_tick = stmt_entry st s.sid;
                  pe_wait = wait;
                  pe_body = compile_opt env k;
+                 pe_label =
+                   Printf.sprintf "commit:%s#%d" env.sc.Runtime.sc_path s.sid;
                }))
   | Delay (d, k) when opt_suspend_free k ->
       (* Bare "always #d stmt": the delay op carries the loop's entry. *)
-      Some (Pdelay { pd_entry = (fun () -> ()); pd_ops = [| seg_delay s d k |] })
+      Some
+        (Pdelay
+           {
+             pd_entry = (fun () -> ());
+             pd_ops = [| seg_delay s d k |];
+             pd_label = Printf.sprintf "gen:%s#%d" env.sc.Runtime.sc_path s.sid;
+           })
   | Block (_, stmts)
     when List.exists (fun si -> match si.s with Delay _ -> true | _ -> false)
            stmts
@@ -739,7 +756,13 @@ let compile_always (env : env) (s : stmt) : cproc option =
             | _ -> Drun (compile_stmt env si))
           stmts
       in
-      Some (Pdelay { pd_entry = stmt_entry st s.sid; pd_ops = Array.of_list ops })
+      Some
+        (Pdelay
+           {
+             pd_entry = stmt_entry st s.sid;
+             pd_ops = Array.of_list ops;
+             pd_label = Printf.sprintf "gen:%s#%d" env.sc.Runtime.sc_path s.sid;
+           })
   | _ -> None
 
 (* --- Levelization ------------------------------------------------------- *)
@@ -763,6 +786,7 @@ let compile_node (envs : env) ~(proc_writes : (string, Runtime.var) Hashtbl.t)
       n_seen = Array.make (List.length support) (Vec.zero 1);
       n_const = false;
       n_level = 0;
+      n_prof = None;
     }
   in
   (* Whole-var stores can skip the Packed->Vec conversion and set_var when
@@ -902,15 +926,24 @@ let compile (elab : Elaborate.elaborated) : artifact =
     List.map
       (fun (p : Elaborate.process) ->
         let env = { st; sc = p.Elaborate.pr_scope; reads; writes } in
+        (* Labels match the event engine's spawn sites, so event and
+           compiled runs of the same design attribute to the same
+           process names in the ledger. *)
+        let label kind =
+          Printf.sprintf "%s:%s#%d" kind p.Elaborate.pr_scope.Runtime.sc_path
+            p.Elaborate.pr_body.Verilog.Ast.sid
+        in
         match p.Elaborate.pr_kind with
         | Elaborate.PInitial ->
-            Pfiber (None, compile_stmt env p.Elaborate.pr_body)
+            Pfiber (None, label "init", compile_stmt env p.Elaborate.pr_body)
         | Elaborate.PAlways -> (
             let pid = !next_pid in
             incr next_pid;
             match compile_always env p.Elaborate.pr_body with
             | Some cp -> cp
-            | None -> Pfiber (Some pid, compile_stmt env p.Elaborate.pr_body)))
+            | None ->
+                Pfiber
+                  (Some pid, label "proc", compile_stmt env p.Elaborate.pr_body)))
       elab.Elaborate.procs
   in
   (* Node compilation gets scratch read/write tables: const/dead analysis
@@ -1043,6 +1076,7 @@ let reset (art : artifact) ~max_steps ~max_time =
   st.Runtime.obs_nba_dispatches <- 0;
   st.Runtime.obs_timesteps <- 0;
   st.Runtime.obs_max_queue <- 0;
+  st.Runtime.obs_profile <- false;
   Array.iter (fun clear -> clear ()) art.a_clears;
   (* Vec values are immutable, so one all-x vector per width can be shared
      across vars (and across runs) -- the packed read caches key on
@@ -1071,11 +1105,26 @@ let reset (art : artifact) ~max_steps ~max_time =
       v.Runtime.v_subscribers <- [])
     st.Runtime.all_vars
 
+(* Profiler frame for the levelized settle pass; individual node frames
+   nest under it. *)
+let prof_comb = Obs.Profile.site "comb"
+
 (* Launch the compiled design: one settle subscriber for the whole
    levelized schedule, then the compiled processes in elaboration order
    (matching Engine.launch's comb-then-process activation order). *)
 let launch (art : artifact) =
   let st = art.a_elab.Elaborate.st in
+  (* Latched once per launch. Node/process sites are (re)assigned every
+     launch, so a cached artifact honours the current profiling state
+     and never carries stale frames into an unprofiled run. *)
+  let prof = st.Runtime.obs_profile in
+  Array.iter
+    (fun nd ->
+      nd.n_prof <-
+        (if prof then
+           Some (Obs.Profile.site ("node:" ^ String.concat "," nd.n_names))
+         else None))
+    art.a_t0;
   let n_inputs = Array.length art.a_inputs in
   let last_seen = Array.make (max n_inputs 1) (Vec.zero 1) in
   let snapshot () =
@@ -1090,8 +1139,16 @@ let launch (art : artifact) =
      which also re-evaluates a binding only when its support changes.
      Impure nodes (array words mutate in place; $time/$random) are always
      evaluated. *)
+  let eval_node nd =
+    match nd.n_prof with
+    | None -> nd.n_eval ()
+    | Some site ->
+        Obs.Profile.enter site;
+        nd.n_eval ();
+        Obs.Profile.leave site
+  in
   let eval_dirty nd =
-    if nd.n_impure then nd.n_eval ()
+    if nd.n_impure then eval_node nd
     else begin
       let supp = nd.n_supp_arr and seen = nd.n_seen in
       let dirty = ref false in
@@ -1102,7 +1159,7 @@ let launch (art : artifact) =
           seen.(i) <- cur
         end
       done;
-      if !dirty then nd.n_eval ()
+      if !dirty then eval_node nd
     end
   in
   let eval_force nd =
@@ -1110,11 +1167,13 @@ let launch (art : artifact) =
     for i = 0 to Array.length supp - 1 do
       seen.(i) <- supp.(i).Runtime.v_value
     done;
-    nd.n_eval ()
+    eval_node nd
   in
   let settle_dynamic () =
+    if prof then Obs.Profile.enter prof_comb;
     Array.iter eval_dirty art.a_dynamic;
-    snapshot ()
+    snapshot ();
+    if prof then Obs.Profile.leave prof_comb
   in
   (* Per-input wake-up: O(1) dedup against the last settle's snapshot, so
      a burst of NBA updates in one delta triggers a single pass. *)
@@ -1127,20 +1186,40 @@ let launch (art : artifact) =
     art.a_inputs;
   (* Time-0 pass evaluates every live node (constants included) once. *)
   Runtime.schedule_active st (fun () ->
+      if prof then Obs.Profile.enter prof_comb;
       Array.iter eval_force art.a_t0;
-      snapshot ());
+      snapshot ();
+      if prof then Obs.Profile.leave prof_comb);
+  (* Profiled callbacks run under their process's frame; Fun.protect (not
+     a bare leave) because $finish escapes bodies as an exception. *)
+  let prof_wrap label f =
+    if not prof then f
+    else begin
+      let site = Obs.Profile.site label in
+      fun () ->
+        Obs.Profile.enter site;
+        Fun.protect ~finally:(fun () -> Obs.Profile.leave site) f
+    end
+  in
   List.iter
     (fun cp ->
       match cp with
-      | Pfiber (None, body) -> Engine.spawn st body
-      | Pfiber (Some pid, body) ->
-          Engine.spawn ~pid st (fun () ->
+      | Pfiber (None, label, body) ->
+          Engine.spawn
+            ?prof:(if prof then Some (Obs.Profile.site label) else None)
+            st body
+      | Pfiber (Some pid, label, body) ->
+          Engine.spawn ~pid
+            ?prof:(if prof then Some (Obs.Profile.site label) else None)
+            st
+            (fun () ->
               let rec loop () =
                 body ();
                 loop ()
               in
               loop ())
-      | Pedge { pe_tick; pe_wait; pe_body } -> (
+      | Pedge { pe_tick; pe_wait; pe_body; pe_label } -> (
+          let pe_body = prof_wrap pe_label pe_body in
           (* The arm/wake pair replays the fiber's lifecycle without a
              continuation: tick (the @() entry), install waiters, and on
              wake run the body then re-arm.  The initial arm is scheduled
@@ -1218,7 +1297,7 @@ let launch (art : artifact) =
                 arm ()
               in
               Runtime.schedule_active st arm)
-      | Pdelay { pd_entry; pd_ops } ->
+      | Pdelay { pd_entry; pd_ops; pd_label } ->
           let n_ops = Array.length pd_ops in
           (* The resume continuation of each delay op is iteration
              independent; allocating it once keeps the per-edge cost of a
@@ -1243,18 +1322,24 @@ let launch (art : artifact) =
               | Drun _ -> ()
               | Dwait (_, k) ->
                   conts.(i) <-
-                    (fun () ->
-                      k ();
-                      step (i + 1)))
+                    prof_wrap pd_label (fun () ->
+                        k ();
+                        step (i + 1)))
             pd_ops;
-          Runtime.schedule_active st (fun () ->
-              pd_entry ();
-              step 0))
+          Runtime.schedule_active st
+            (prof_wrap pd_label (fun () ->
+                 pd_entry ();
+                 step 0)))
     art.a_procs
 
 let run (art : artifact) : Engine.outcome =
   let st = art.a_elab.Elaborate.st in
-  launch art;
+  if st.Runtime.obs_profile then begin
+    Obs.Profile.enter Engine.prof_setup;
+    launch art;
+    Obs.Profile.leave Engine.prof_setup
+  end
+  else launch art;
   try
     Runtime.run_loop st;
     if st.Runtime.finished then Engine.Finished

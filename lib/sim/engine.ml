@@ -290,7 +290,8 @@ and exec_systask st sc task args =
 
 (* --- Process spawning and the run loop ----------------------------------- *)
 
-let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
+let park ?prof (st : Runtime.state) ~(pid : int) (w : wait)
+    (resume : unit -> unit) =
   let resumed = ref false in
   let resume () =
     if !resumed then (
@@ -311,6 +312,17 @@ let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
      waits the activation cause is stamped by the waker (set_var /
      trigger_event), for delays it is known here. *)
   let resume () = Runtime.with_proc st pid resume in
+  (* Profiling: each resumed segment runs under the process's frame, so
+     fiber time lands on "region;proc" paths. [Fun.protect] (not a bare
+     leave) because $finish propagates out of segments as an exception. *)
+  let resume =
+    match prof with
+    | None -> resume
+    | Some site ->
+        fun () ->
+          Obs.Profile.enter site;
+          Fun.protect ~finally:(fun () -> Obs.Profile.leave site) resume
+  in
   match w with
   | WDelay n ->
       Runtime.schedule_at st ~time:(st.now + n) (fun () ->
@@ -329,8 +341,9 @@ let park (st : Runtime.state) ~(pid : int) (w : wait) (resume : unit -> unit) =
         edges
 
 (* [pid]: race-checker identity. Always processes get distinct ids;
-   initial blocks pass the default -1 and stay untracked. *)
-let spawn ?(pid = -1) (st : Runtime.state) (body : unit -> unit) =
+   initial blocks pass the default -1 and stay untracked. [prof]: the
+   profiler site charged for every fiber segment of this process. *)
+let spawn ?(pid = -1) ?prof (st : Runtime.state) (body : unit -> unit) =
   let fiber () =
     match_with body ()
       {
@@ -342,9 +355,17 @@ let spawn ?(pid = -1) (st : Runtime.state) (body : unit -> unit) =
             | Suspend w ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    park st ~pid w (fun () -> continue k ()))
+                    park ?prof st ~pid w (fun () -> continue k ()))
             | _ -> None);
       }
+  in
+  let fiber =
+    match prof with
+    | None -> fiber
+    | Some site ->
+        fun () ->
+          Obs.Profile.enter site;
+          Fun.protect ~finally:(fun () -> Obs.Profile.leave site) fiber
   in
   Runtime.schedule_active st (fun () ->
       Runtime.with_cause st Runtime.Cause_start (fun () ->
@@ -366,14 +387,28 @@ let launch (elab : Elaborate.elaborated) =
       Runtime.schedule_active st cb.cb_eval)
     elab.combs;
   let next_pid = ref 0 in
+  (* Profiler identity: one site per source process, named by its scope
+     and the root statement's node id, so event-engine and compiled runs
+     attribute to the same labels. Sites are only interned when the
+     profiler is live for this run. *)
+  let prof_site kind (p : Elaborate.process) =
+    if st.obs_profile then
+      Some
+        (Obs.Profile.site
+           (Printf.sprintf "%s:%s#%d" kind p.pr_scope.Runtime.sc_path
+              p.pr_body.Verilog.Ast.sid))
+    else None
+  in
   List.iter
     (fun (p : Elaborate.process) ->
       match p.pr_kind with
-      | Elaborate.PInitial -> spawn st (fun () -> exec st p.pr_scope p.pr_body)
+      | Elaborate.PInitial ->
+          spawn ?prof:(prof_site "init" p) st (fun () ->
+              exec st p.pr_scope p.pr_body)
       | Elaborate.PAlways ->
           let pid = !next_pid in
           incr next_pid;
-          spawn ~pid st (fun () ->
+          spawn ~pid ?prof:(prof_site "proc" p) st (fun () ->
               let rec loop () =
                 exec st p.pr_scope p.pr_body;
                 loop ()
@@ -381,9 +416,16 @@ let launch (elab : Elaborate.elaborated) =
               loop ()))
     elab.procs
 
+let prof_setup = Obs.Profile.site "setup"
+
 let run (elab : Elaborate.elaborated) : outcome =
   let st = elab.st in
-  launch elab;
+  if st.obs_profile then begin
+    Obs.Profile.enter prof_setup;
+    launch elab;
+    Obs.Profile.leave prof_setup
+  end
+  else launch elab;
   try
     Runtime.run_loop st;
     if st.finished then Finished

@@ -203,6 +203,12 @@ let rec prepare_store (st : Runtime.state) (sc : Runtime.scope)
           in
           split (total - 1) parts )
 
+(* Count-only attribution: one bump per committed assignment, charged
+   under whatever process/region frame is open. No clock read — at this
+   frequency a timestamp would dominate the measurement. *)
+let prof_assign = Obs.Profile.site "eval.assign"
+
 let assign st sc lv value =
   let w, store = prepare_store st sc lv in
+  if st.Runtime.obs_profile then Obs.Profile.bump prof_assign;
   store (Vec.resize w value)

@@ -146,6 +146,9 @@ type state = {
   mutable obs_nba_dispatches : int; (* non-blocking updates applied *)
   mutable obs_timesteps : int; (* distinct simulation times visited *)
   mutable obs_max_queue : int; (* deepest active queue seen at dispatch *)
+  mutable obs_profile : bool;
+      (* self-profiler frames around scheduler regions, processes and
+         compiled nodes; set by Simulate when Obs.Profile is started *)
 }
 
 let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
@@ -170,6 +173,7 @@ let create ?(max_steps = 2_000_000) ?(max_time = 1_000_000) () =
     obs_nba_dispatches = 0;
     obs_timesteps = 0;
     obs_max_queue = 0;
+    obs_profile = false;
   }
 
 let tick st =
@@ -450,8 +454,20 @@ let subscribe (v : var) thunk = v.v_subscribers <- thunk :: v.v_subscribers
 let storage_index (v : var) (i : int) =
   if v.v_msb >= v.v_lsb then i - v.v_lsb else v.v_lsb - i
 
+(* Profiler region sites for the scheduler, interned once. These are the
+   top-level frames of the per-edge cost ledger: everything a process or
+   compiled node charges nests under one of them. *)
+let prof_active = Obs.Profile.site "active"
+let prof_nba = Obs.Profile.site "nba"
+let prof_monitor = Obs.Profile.site "monitor"
+let prof_advance = Obs.Profile.site "advance"
+
 (* Run the simulation main loop. The caller has filled time-0 work. *)
 let run_loop st =
+  (* Latched for the whole loop: Simulate sets [obs_profile] before any
+     work is scheduled, so a local avoids re-reading the mutable field in
+     the region hot path. *)
+  let prof = st.obs_profile in
   let run_thunk thunk = try thunk () with Finish_called -> st.finished <- true in
   let since_purge = ref 0 in
   let drain_active () =
@@ -477,7 +493,9 @@ let run_loop st =
     (* Delta loop for the current time: active region, then NBA region. *)
     let settled = ref false in
     while not (!settled || st.finished) do
+      if prof then Obs.Profile.enter prof_active;
       drain_active ();
+      if prof then Obs.Profile.leave prof_active;
       if st.finished then settled := true
       else (
         match st.current.sl_nba with
@@ -487,15 +505,24 @@ let run_loop st =
               st.obs_nba_dispatches <-
                 st.obs_nba_dispatches + List.length nbas;
             st.current.sl_nba <- [];
-            List.iter run_thunk (List.rev nbas))
+            if prof then Obs.Profile.enter prof_nba;
+            List.iter run_thunk (List.rev nbas);
+            if prof then Obs.Profile.leave prof_nba)
     done;
+    (* Monitor region; the end-of-delta waiter purge is charged here too,
+       so the profiled regions tile the whole timestep — any gap between
+       top-level frames is dropped time the ledger cannot account for. *)
+    if prof then Obs.Profile.enter prof_monitor;
     purge_waiters st;
-    (* Monitor region. *)
     if not st.finished then (
       match st.end_of_step_hooks with
       | [] -> ()
       | [ hook ] -> hook st
       | hooks -> List.iter (fun hook -> hook st) (List.rev hooks));
+    if prof then Obs.Profile.leave prof_monitor;
+    (* Advance time (the per-timestep obs sampling is part of the region:
+       same tiling argument as above). *)
+    if prof then Obs.Profile.enter prof_advance;
     if st.obs_enabled then begin
       st.obs_timesteps <- st.obs_timesteps + 1;
       (* Detail mode samples the scheduler once per timestep as a Perfetto
@@ -509,8 +536,7 @@ let run_loop st =
             ("pending_slots", float_of_int (List.length st.horizon));
           ]
     end;
-    (* Advance time. *)
-    match st.horizon with
+    (match st.horizon with
     | [] -> exhausted := true
     | (t, s) :: rest ->
         if t > st.max_time then exhausted := true
@@ -520,7 +546,8 @@ let run_loop st =
           Queue.transfer s.sl_active st.current.sl_active;
           st.current.sl_nba <- s.sl_nba;
           s.sl_nba <- [];
-          st.slot_pool <- s :: st.slot_pool)
+          st.slot_pool <- s :: st.slot_pool));
+    if prof then Obs.Profile.leave prof_advance
   done
 
 let display st text = Buffer.add_string st.display_log text

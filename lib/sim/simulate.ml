@@ -107,7 +107,23 @@ let cache_add key entry =
 
 (* --- Observability helpers ---------------------------------------------- *)
 
-let obs_enabled () = Obs.Trace.enabled () || Obs.Metrics.enabled ()
+let obs_enabled () =
+  Obs.Trace.enabled () || Obs.Metrics.enabled () || Obs.Profile.enabled ()
+
+(* Elaboration/compilation and result packing run outside the scheduler
+   loop yet are real per-run cost (the event backend re-elaborates every
+   run); charging them keeps the ledger's region sum close to measured
+   wall time. *)
+let prof_elab = Obs.Profile.site "elab"
+let prof_collect = Obs.Profile.site "collect"
+let prof_setup = Obs.Profile.site "setup"
+
+let prof_frame site f =
+  if Obs.Profile.enabled () then begin
+    Obs.Profile.enter site;
+    Fun.protect ~finally:(fun () -> Obs.Profile.leave site) f
+  end
+  else f ()
 
 let obs_elab_done ~ok ~top t_elab =
   if Obs.Trace.enabled () then
@@ -160,14 +176,18 @@ let run_event ~max_steps ~max_time ~check_races ~obs design (spec : spec)
     backend_used : (result, error) Stdlib.result =
   let t_elab = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
   match
-    (try
-       let elab = Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top in
-       if check_races then Runtime.enable_race_check elab.st;
-       let recorder =
-         Recorder.attach elab.st ~clock:spec.clock ~instance_path:spec.dut_path
-       in
-       Ok (elab, recorder)
-     with Runtime.Elab_error msg -> Error (Elab_failure msg))
+    prof_frame prof_elab (fun () ->
+        try
+          let elab =
+            Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top
+          in
+          if check_races then Runtime.enable_race_check elab.st;
+          let recorder =
+            Recorder.attach elab.st ~clock:spec.clock
+              ~instance_path:spec.dut_path
+          in
+          Ok (elab, recorder)
+        with Runtime.Elab_error msg -> Error (Elab_failure msg))
   with
   | Error e ->
       if obs then obs_elab_done ~ok:false ~top:spec.top t_elab;
@@ -175,6 +195,7 @@ let run_event ~max_steps ~max_time ~check_races ~obs design (spec : spec)
   | Ok (elab, recorder) -> (
       if obs then begin
         elab.st.obs_enabled <- true;
+        elab.st.obs_profile <- Obs.Profile.enabled ();
         obs_elab_done ~ok:true ~top:spec.top t_elab
       end;
       let t_run = if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
@@ -186,19 +207,23 @@ let run_event ~max_steps ~max_time ~check_races ~obs design (spec : spec)
           Error (Elab_failure msg)
       | outcome ->
           if obs then obs_run_done elab.st t_run;
-          Ok (pack_result elab.st recorder outcome backend_used))
+          Ok
+            (prof_frame prof_collect (fun () ->
+                 pack_result elab.st recorder outcome backend_used)))
 
 (* --- Compiled backend --------------------------------------------------- *)
 
 let run_artifact ~max_steps ~max_time ~obs (art : Compile.artifact)
     (spec : spec) : (result, error) Stdlib.result =
   let st = art.Compile.a_elab.Elaborate.st in
-  Compile.reset art ~max_steps ~max_time;
-  st.obs_enabled <- obs;
   match
-    (try
-       Ok (Recorder.attach st ~clock:spec.clock ~instance_path:spec.dut_path)
-     with Runtime.Elab_error msg -> Error (Elab_failure msg))
+    prof_frame prof_setup (fun () ->
+        Compile.reset art ~max_steps ~max_time;
+        st.obs_enabled <- obs;
+        st.obs_profile <- Obs.Profile.enabled ();
+        try
+          Ok (Recorder.attach st ~clock:spec.clock ~instance_path:spec.dut_path)
+        with Runtime.Elab_error msg -> Error (Elab_failure msg))
   with
   | Error e -> Error e
   | Ok recorder -> (
@@ -209,7 +234,9 @@ let run_artifact ~max_steps ~max_time ~obs (art : Compile.artifact)
           Error (Elab_failure msg)
       | outcome ->
           if obs then obs_run_done st t_run;
-          Ok (pack_result st recorder outcome Used_compiled))
+          Ok
+            (prof_frame prof_collect (fun () ->
+                 pack_result st recorder outcome Used_compiled)))
 
 (* Simulate [design] under [spec]. Elaboration failures (the simulator
    analogue of a mutant that does not compile) are reported as [Error].
@@ -226,19 +253,26 @@ let run ?(max_steps = 2_000_000) ?(max_time = 1_000_000)
   if not want_compiled then
     run_event ~max_steps ~max_time ~check_races ~obs design spec Used_event
   else begin
-    let key = design_key design ~top:spec.top in
+    (* Key hashing and the cache probe are real per-run cost of the
+       compiled path; charge them as (amortized) elaboration. *)
+    let key, cached =
+      prof_frame prof_elab (fun () ->
+          let key = design_key design ~top:spec.top in
+          (key, cache_find key))
+    in
     let entry =
-      match cache_find key with
+      match cached with
       | Some entry -> Ok entry
       | None -> (
           let t_elab =
             if obs && Obs.Trace.enabled () then Obs.Trace.begin_ () else 0
           in
           match
-            let elab =
-              Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top
-            in
-            Compile.compile elab
+            prof_frame prof_elab (fun () ->
+                let elab =
+                  Elaborate.elaborate ~max_steps ~max_time design ~top:spec.top
+                in
+                Compile.compile elab)
           with
           | art ->
               if obs then obs_elab_done ~ok:true ~top:spec.top t_elab;

@@ -1,0 +1,187 @@
+(* Tests for the simulator self-profiler (lib/obs/profile.ml): path-tree
+   accumulation and nesting, imbalance detection, determinism of the
+   folded-stack structure across same-seed simulations, and the
+   disabled-profiler contract (one boolean test per site, no allocation). *)
+
+open Obs
+
+let counter_src =
+  {|
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+endmodule
+module counter_tb;
+  reg clk, rst;
+  wire [3:0] q;
+  counter dut(.clk(clk), .rst(rst), .q(q));
+  initial begin
+    clk = 0; rst = 1;
+    #2 rst = 0;
+    #40 $finish;
+  end
+  always #1 clk = ~clk;
+endmodule
+|}
+
+let spec : Sim.Simulate.spec =
+  { top = "counter_tb"; clock = "counter_tb.clk"; dut_path = "counter_tb.dut" }
+
+let with_profiler f =
+  Profile.start ();
+  Fun.protect ~finally:Profile.stop f
+
+let test_nesting () =
+  with_profiler @@ fun () ->
+  let a = Profile.site "test.a"
+  and b = Profile.site "test.b"
+  and c = Profile.site "test.c" in
+  Profile.enter a;
+  Profile.enter b;
+  Profile.leave b;
+  Profile.enter b;
+  Profile.leave b;
+  Profile.bump c;
+  Profile.leave a;
+  let r = Profile.report () in
+  Alcotest.(check (list string)) "no imbalances" [] r.Profile.r_imbalances;
+  let count stack =
+    match
+      List.find_opt (fun p -> p.Profile.p_stack = stack) r.Profile.r_paths
+    with
+    | Some p -> p.Profile.p_count
+    | None -> Alcotest.failf "path %s missing" (String.concat ";" stack)
+  in
+  Alcotest.(check int) "outer entered once" 1 (count [ "test.a" ]);
+  Alcotest.(check int) "inner entered twice" 2 (count [ "test.a"; "test.b" ]);
+  (* [bump] after the nested frames closed counts under the open outer
+     frame, and never touches the clock. *)
+  Alcotest.(check int) "bump nests under the open frame" 1
+    (count [ "test.a"; "test.c" ]);
+  (* Self time of every path is non-negative and sums to the total. *)
+  List.iter
+    (fun p -> Alcotest.(check bool) "self time >= 0" true (p.Profile.p_ns >= 0))
+    r.Profile.r_paths;
+  Alcotest.(check int) "total is the sum of self times"
+    (List.fold_left (fun acc p -> acc + p.Profile.p_ns) 0 r.Profile.r_paths)
+    r.Profile.r_total_ns
+
+let test_imbalance () =
+  with_profiler @@ fun () ->
+  let a = Profile.site "test.a" and b = Profile.site "test.b" in
+  Profile.leave b;
+  (* nothing open *)
+  Profile.enter a;
+  Profile.leave b;
+  (* wrong leaf (pops anyway) *)
+  let msgs = Profile.imbalances () in
+  Alcotest.(check int) "both faults recorded" 2 (List.length msgs);
+  (* A frame left open surfaces at report time, not as a hard error. *)
+  Profile.enter a;
+  let r = Profile.report () in
+  Alcotest.(check bool) "open frame reported" true
+    (List.exists
+       (fun m ->
+         String.length m >= 5 && String.sub m 0 5 = "frame")
+       r.Profile.r_imbalances);
+  Profile.leave a
+
+(* Two same-seed simulations must visit the identical set of stacks the
+   same number of times; only the nanoseconds may differ. [folded
+   ~zero_ns:true] substitutes entry counts for times, so the whole folded
+   output must match byte-for-byte. *)
+let test_folded_determinism () =
+  let one_run () =
+    with_profiler @@ fun () ->
+    (match Sim.Simulate.run_source ~backend:Sim.Simulate.Event
+             ~source:counter_src spec
+     with
+    | Ok _ -> ()
+    | Error (Sim.Simulate.Elab_failure m) -> Alcotest.failf "elab: %s" m);
+    Profile.folded ~zero_ns:true (Profile.report ())
+  in
+  let f1 = one_run () and f2 = one_run () in
+  Alcotest.(check bool) "folded output is non-trivial" true
+    (String.length f1 > 0);
+  Alcotest.(check string) "same structure and counts across runs" f1 f2;
+  (* The stacks carry the per-process attribution the ledger is built
+     from: scheduler regions at the root, processes nested below. *)
+  Alcotest.(check bool) "has an active region" true
+    (List.exists
+       (fun line ->
+         String.length line >= 6 && String.sub line 0 6 = "active")
+       (String.split_on_char '\n' f1));
+  Alcotest.(check bool) "attributes a testbench process" true
+    (let re = Str.regexp_string "proc:counter_tb" in
+     try
+       ignore (Str.search_forward re f1 0);
+       true
+     with Not_found -> false)
+
+(* Disabled profiler: a site test is one boolean read, and a simulation
+   with every sink off must not allocate in the profiler. The allocation
+   check brackets a loop of guarded hot-path calls with minor_words. *)
+let test_disabled_no_alloc () =
+  Profile.stop ();
+  Alcotest.(check bool) "disabled" false (Profile.enabled ());
+  let site = Profile.site "test.disabled" in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    if Profile.enabled () then Profile.enter site;
+    if Profile.enabled () then Profile.bump site;
+    if Profile.enabled () then Profile.leave site
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool) "no allocation on the guarded hot path" true
+    (w1 -. w0 < 64.)
+
+(* A profiled simulation on the compiled backend uses the same region
+   labels as the event backend, so ledgers line up side by side. *)
+let test_compiled_labels () =
+  let regions backend =
+    with_profiler @@ fun () ->
+    (match Sim.Simulate.run_source ~backend ~source:counter_src spec with
+    | Ok r ->
+        Alcotest.(check string) "backend engaged"
+          (match backend with
+          | Sim.Simulate.Compiled -> "compiled"
+          | _ -> "event")
+          (Sim.Simulate.backend_used_to_string r.Sim.Simulate.backend_used)
+    | Error (Sim.Simulate.Elab_failure m) -> Alcotest.failf "elab: %s" m);
+    Profile.regions (Profile.report ()) |> List.map (fun (n, _, _) -> n)
+  in
+  let ev = regions Sim.Simulate.Event
+  and cp = regions Sim.Simulate.Compiled in
+  List.iter
+    (fun region ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event ledger has %s" region)
+        true (List.mem region ev);
+      Alcotest.(check bool)
+        (Printf.sprintf "compiled ledger has %s" region)
+        true (List.mem region cp))
+    [ "elab"; "setup"; "active"; "nba"; "advance" ]
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "accumulator",
+        [
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "imbalance detection" `Quick test_imbalance;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "folded determinism" `Quick
+            test_folded_determinism;
+          Alcotest.test_case "region labels match across backends" `Quick
+            test_compiled_labels;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "no allocation when off" `Quick
+            test_disabled_no_alloc;
+        ] );
+    ]
