@@ -1,9 +1,9 @@
-(* Bench regression guard: compare a freshly measured BENCH_sim.json /
-   BENCH_repair.json against the committed copies, direction-aware, with
-   a percentage tolerance. Throughput fields (per_sec, speedup) regress
-   when the fresh value falls below committed * (1 - tol); cost fields
-   (wall, seconds, _ms) regress when it rises above committed * (1 + tol).
-   Exits 1 on any regression, 0 otherwise.
+(* Bench regression guard: compare freshly measured BENCH_*.json
+   artifacts against the committed copies, direction-aware, with a
+   percentage tolerance. Throughput/quality fields (per_sec, speedup,
+   rate) regress when the fresh value falls below committed * (1 - tol);
+   cost fields (wall, seconds) regress when it rises above
+   committed * (1 + tol). Exits 1 on any regression, 0 otherwise.
 
    Timing medians are hardware-sensitive, so this is an opt-in gate
    (`dune build @bench-check`), not part of `dune runtest`: the committed
@@ -21,7 +21,8 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn > 0 && go 0
 
-let higher_better name = contains name "per_sec" || contains name "speedup"
+let higher_better name =
+  contains name "per_sec" || contains name "speedup" || contains name "rate"
 
 (* Sub-millisecond one-shot costs (compile_ms and friends) are jitter,
    not signal, so only wall-clock style fields gate. *)
@@ -51,6 +52,30 @@ let row_label row =
   | None, Some p -> p
   | Some id, None -> string_of_int id
   | None, None -> "?"
+
+(* Rows plus one level of nesting: BENCH_profile.json keeps its gated
+   fields under a per-project "backends" list, so those expand to
+   "project/backend" sub-rows. *)
+let labelled_rows v =
+  List.concat_map
+    (fun row ->
+      let base = row_label row in
+      let nested =
+        match Json.member "backends" row with
+        | Some (Json.List bs) ->
+            List.map
+              (fun b ->
+                let bl =
+                  match Json.member "backend" b with
+                  | Some (Json.Str s) -> s
+                  | _ -> "?"
+                in
+                (base ^ "/" ^ bl, b))
+              bs
+        | _ -> []
+      in
+      (base, row) :: nested)
+    (rows v)
 
 let gated_fields row =
   match row with
@@ -96,11 +121,10 @@ let compare_pair committed_path fresh_path =
           | _ -> ())
         fields
   | _ -> ());
-  let fresh_rows = rows fresh in
+  let fresh_rows = labelled_rows fresh in
   List.iter
-    (fun crow ->
-      let label = row_label crow in
-      match List.find_opt (fun r -> row_label r = label) fresh_rows with
+    (fun (label, crow) ->
+      match List.assoc_opt label fresh_rows with
       | None ->
           (* Quick-mode runs may measure a subset; absence is not a
              regression, but say so rather than silently narrowing. *)
@@ -115,7 +139,7 @@ let compare_pair committed_path fresh_path =
                   | None -> ())
               | None -> ())
             (gated_fields crow))
-    (rows committed)
+    (labelled_rows committed)
 
 let () =
   let rec parse_args = function

@@ -1389,6 +1389,121 @@ let profile_perf () =
   Printf.printf "wrote BENCH_profile.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Campaign throughput (BENCH_campaign.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Corpus-level repair rate and cost over a FIXED scenario subset x 2
+   seeds at half budget — deliberately the same configuration in quick
+   and full mode, so the committed baseline and a @bench-check re-measure
+   always compare like against like. repair_rate gates higher-better,
+   the wall columns lower-better (bench/compare.ml). *)
+let campaign_perf () =
+  section "Campaign: corpus repair rate and cost (writes BENCH_campaign.json)";
+  let ids = [ 1; 3; 4; 5; 6; 7 ] in
+  let seeds = 2 in
+  let budget_scale = 0.5 in
+  let scenarios = List.map Bench_suite.Defects.find ids in
+  let out_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cirfix-campaign-bench-%d" (Unix.getpid ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Bench_suite.Campaign.run
+      ~config:(Bench_suite.Runner.scenario_config ~budget_scale)
+      ~jobs:(Cirfix.Config.default_jobs ()) ~out_dir
+      (Bench_suite.Campaign.jobs ~scenarios ~seeds)
+  in
+  let total_wall = Unix.gettimeofday () -. t0 in
+  (* The journals/manifest only exist to exercise the real campaign path;
+     the artifact numbers come from the in-process results. *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat out_dir f))
+       (Sys.readdir out_dir);
+     Unix.rmdir out_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let mean = function
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf "%-24s %12s %12s %12s\n" "Scenario" "repair rate" "mean wall"
+    "mean probes";
+  let rows =
+    List.map
+      (fun id ->
+        let rs =
+          List.filter
+            (fun (r : Bench_suite.Campaign.job_result) ->
+              r.r_job.c_defect.id = id)
+            results
+        in
+        let n = List.length rs in
+        let repaired =
+          List.length
+            (List.filter
+               (fun (r : Bench_suite.Campaign.job_result) ->
+                 r.r_outcome = Bench_suite.Campaign.Repaired)
+               rs)
+        in
+        let rate =
+          if n = 0 then 0. else float_of_int repaired /. float_of_int n
+        in
+        let wall = mean (List.map (fun r -> r.Bench_suite.Campaign.r_wall) rs) in
+        let probes =
+          mean
+            (List.map
+               (fun r -> float_of_int r.Bench_suite.Campaign.r_probes)
+               rs)
+        in
+        let project =
+          match rs with
+          | r :: _ -> r.r_job.c_defect.project
+          | [] -> "?"
+        in
+        Printf.printf "%2d %-21s %11.0f%% %11.3fs %12.0f\n" id project
+          (100. *. rate) wall probes;
+        (id, project, rate, wall, probes))
+      ids
+  in
+  let jobs_total = List.length results in
+  let repaired_total =
+    List.length
+      (List.filter
+         (fun (r : Bench_suite.Campaign.job_result) ->
+           r.r_outcome = Bench_suite.Campaign.Repaired)
+         results)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"seeds\": %d,\n\
+      \  \"budget_scale\": %.2f,\n\
+      \  \"note\": \"fixed subset, identical in quick and full mode; \
+       repair_rate gates higher-better, wall columns lower-better\",\n\
+      \  \"repair_rate\": %.4f,\n\
+      \  \"total_wall_seconds\": %.3f,\n\
+      \  \"scenarios\": [\n%s\n  ]\n}\n"
+      seeds budget_scale
+      (if jobs_total = 0 then 0.
+       else float_of_int repaired_total /. float_of_int jobs_total)
+      total_wall
+      (String.concat ",\n"
+         (List.map
+            (fun (id, project, rate, wall, probes) ->
+              Printf.sprintf
+                "    { \"id\": %d, \"project\": \"%s\", \"repair_rate\": \
+                 %.4f,\n\
+                \      \"mean_wall_seconds\": %.3f, \"mean_probes\": %.0f }"
+                id project rate wall probes)
+            rows))
+  in
+  Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "wrote BENCH_campaign.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let artifacts =
   [
@@ -1411,6 +1526,7 @@ let artifacts =
     ("race-audit", race_audit);
     ("obs-overhead", obs_overhead);
     ("profile-perf", profile_perf);
+    ("campaign-perf", campaign_perf);
     ("perf", perf);
   ]
 

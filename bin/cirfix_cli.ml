@@ -1502,6 +1502,192 @@ let report_cmd =
           & info [ "o"; "output" ] ~docv:"FILE"
               ~doc:"Write the report here (default: stdout)."))
 
+(* --- campaign -------------------------------------------------------------------- *)
+
+let campaign ids quick seeds jobs out_dir budget_scale progress =
+  let scenarios =
+    match ids with
+    | Some ids -> List.map Bench_suite.Defects.find ids
+    | None ->
+        if quick then Bench_suite.Campaign.quick_scenarios ()
+        else Bench_suite.Defects.all
+  in
+  let config =
+    if quick then Bench_suite.Campaign.quick_config
+    else Bench_suite.Runner.scenario_config ~budget_scale
+  in
+  let job_list = Bench_suite.Campaign.jobs ~scenarios ~seeds in
+  let show_progress, clear_progress = make_progress ~enabled:progress in
+  let t0 = Unix.gettimeofday () in
+  let repaired = ref 0 in
+  let on_done ~done_ ~total (r : Bench_suite.Campaign.job_result) =
+    (match r.r_outcome with
+    | Bench_suite.Campaign.Repaired -> incr repaired
+    | _ -> ());
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let eta =
+      if done_ = 0 then 0.
+      else elapsed /. float_of_int done_ *. float_of_int (total - done_)
+    in
+    show_progress
+      (Printf.sprintf
+         "campaign  %d/%d jobs | repair rate %.0f%% | elapsed %.0fs | eta \
+          %.0fs"
+         done_ total
+         (100. *. float_of_int !repaired /. float_of_int done_)
+         elapsed eta)
+  in
+  let results =
+    Bench_suite.Campaign.run ~config ~on_done ~jobs ~out_dir job_list
+  in
+  clear_progress ();
+  (* Per-scenario summary on stdout; the machine-readable view is the
+     manifest (and `cirfix dashboard --table`). *)
+  let by_id =
+    List.sort_uniq compare
+      (List.map (fun (d : Bench_suite.Defects.t) -> d.id) scenarios)
+  in
+  List.iter
+    (fun id ->
+      let rs =
+        List.filter
+          (fun (r : Bench_suite.Campaign.job_result) ->
+            r.r_job.c_defect.id = id)
+          results
+      in
+      let count p = List.length (List.filter p rs) in
+      let project =
+        match rs with
+        | r :: _ -> r.r_job.c_defect.project
+        | [] -> "?"
+      in
+      Printf.printf "scenario %2d  %-22s  repaired %d/%d  correct %d/%d%s\n"
+        id project
+        (count (fun r -> r.r_outcome = Bench_suite.Campaign.Repaired))
+        (List.length rs)
+        (count (fun r -> r.r_correct))
+        (List.length rs)
+        (match
+           count (fun r ->
+               match r.r_outcome with
+               | Bench_suite.Campaign.Failed _ -> true
+               | _ -> false)
+         with
+        | 0 -> ""
+        | n -> Printf.sprintf "  errors %d" n))
+    by_id;
+  let total = List.length results in
+  let repaired_total =
+    List.length
+      (List.filter
+         (fun (r : Bench_suite.Campaign.job_result) ->
+           r.r_outcome = Bench_suite.Campaign.Repaired)
+         results)
+  in
+  Printf.printf
+    "campaign: %d job(s), repair rate %.1f%%, wall %.1fs; manifest: %s\n"
+    total
+    (if total = 0 then 0.
+     else 100. *. float_of_int repaired_total /. float_of_int total)
+    (Unix.gettimeofday () -. t0)
+    (Filename.concat out_dir "manifest.jsonl")
+
+let campaign_cmd =
+  let doc =
+    "Corpus-wide repair campaign: run defect scenarios x seeds as parallel \
+     jobs over the domain pool, writing one journal per job plus an \
+     append-only manifest.jsonl; render the results with $(b,cirfix \
+     dashboard)."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const campaign
+      $ Arg.(
+          value
+          & opt (some (list int)) None
+          & info [ "scenarios" ] ~docv:"IDS"
+              ~doc:
+                "Comma-separated scenario ids (1..32) to sweep\n\
+                 (default: all 32, or the quick subset with $(b,--quick)).")
+      $ Arg.(
+          value & flag
+          & info [ "quick" ]
+              ~doc:
+                "Smoke sweep: a few fast scenarios under sharply reduced\n\
+                 budgets; finishes in seconds.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per scenario (1..N).")
+      $ jobs_arg
+      $ Arg.(
+          value
+          & opt string "campaign-out"
+          & info [ "out"; "o" ] ~docv:"DIR"
+              ~doc:"Output directory for manifest.jsonl and per-job journals.")
+      $ Arg.(
+          value & opt float 1.0
+          & info [ "budget-scale" ] ~docv:"F"
+              ~doc:"Scale each scenario's probe/wall budgets by F.")
+      $ progress_arg)
+
+(* --- dashboard ------------------------------------------------------------------- *)
+
+let dashboard manifest table out =
+  let contents = or_die (read_file manifest) in
+  let records, _ = Obs.Aggregate.parse_lenient contents in
+  let write what text =
+    match out with
+    | None -> print_string text
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc text);
+        Printf.eprintf "wrote %s (%s)\n" path what
+  in
+  match table with
+  | Some `Csv -> write "csv table" (Obs.Dashboard.table_csv records)
+  | Some `Json -> write "json table" (Obs.Dashboard.table_json records)
+  | None ->
+      let dir = Filename.dirname manifest in
+      let runs =
+        Obs.Aggregate.jobs_of_manifest records
+        |> List.filter_map (fun (j : Obs.Aggregate.job) ->
+               Obs.Aggregate.load_file (Filename.concat dir j.j_journal)
+               |> Option.map (fun c ->
+                      let recs, skipped = Obs.Aggregate.parse_lenient c in
+                      ( j.j_journal,
+                        Obs.Aggregate.run_of_records recs skipped )))
+      in
+      write "dashboard" (Obs.Dashboard.render ~manifest:records ~runs)
+
+let dashboard_cmd =
+  let doc =
+    "Render a campaign manifest (plus its per-job journals) as one \
+     self-contained HTML dashboard: repair-rate heat matrix, overlaid \
+     fitness trajectories, corpus-wide operator funnel, per-scenario cost. \
+     $(b,--table) emits the same aggregate as machine-readable CSV/JSON."
+  in
+  Cmd.v
+    (Cmd.info "dashboard" ~doc)
+    Term.(
+      const dashboard
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"MANIFEST"
+              ~doc:"Campaign manifest (manifest.jsonl) to aggregate.")
+      $ Arg.(
+          value
+          & opt (some (enum [ ("csv", `Csv); ("json", `Json) ])) None
+          & info [ "table" ] ~docv:"FMT"
+              ~doc:"Emit a machine-readable table (csv or json) instead of \
+                    HTML.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "output" ] ~docv:"FILE"
+              ~doc:"Write the output here (default: stdout)."))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -1524,4 +1710,6 @@ let () =
             race_cmd;
             coverage_cmd;
             report_cmd;
+            campaign_cmd;
+            dashboard_cmd;
           ]))

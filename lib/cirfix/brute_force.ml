@@ -239,12 +239,14 @@ let search ?(max_depth = 2) ?on_progress (cfg : Config.t)
         ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
         ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
       ];
-    (* Terminal record: no wall-clock field, byte-identical across [jobs]. *)
+    (* Terminal record; [elapsed_s] is the documented timing field,
+       excluded from the cross-[jobs] byte-equality contract. *)
     Obs.Journal.emit
       ([
         ("type", Obs.Json.Str "run_end");
         ( "status",
           Obs.Json.Str (if !found <> None then "repaired" else "no_repair") );
+        ("elapsed_s", Obs.Json.Float (Unix.gettimeofday () -. t0));
         ("evals", Obs.Json.Int ev.lookups);
         ("probes", Obs.Json.Int ev.probes);
         ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));

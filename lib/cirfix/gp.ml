@@ -164,10 +164,10 @@ let genealogy (tbl : (string, lineage_node) Hashtbl.t) (winner : string) :
     (fun (h1, n1) (h2, n2) -> compare (n1.l_gen, h1) (n2.l_gen, h2))
     !acc
 
-let journal_lineage (tbl : (string, lineage_node) Hashtbl.t)
-    ~(winner : string) : unit =
+let journal_lineage ~(winner : string)
+    (nodes : (string * lineage_node) list) : unit =
   let nodes =
-    genealogy tbl winner
+    nodes
     |> List.map (fun (hash, n) ->
            Obs.Json.Obj
              [
@@ -189,6 +189,126 @@ let journal_lineage (tbl : (string, lineage_node) Hashtbl.t)
       ("type", Obs.Json.Str "lineage");
       ("winner", Obs.Json.Str winner);
       ("nodes", Obs.Json.List nodes);
+    ]
+
+(* --- Search funnel --------------------------------------------------------
+
+   Per-operator funnel counters: every proposal is counted through
+   proposed -> screened/pruned -> simulated -> survived selection ->
+   in-winner-lineage, keyed by the provenance operator string ("seed",
+   "delete", "insert", "replace", "template:<name>", "crossover", plus
+   the accounting pseudo-operators "setup" and "minimize" for evaluator
+   work outside the proposal stream). All bumps happen on sequentially-
+   committed state, so the funnel is byte-identical across [jobs].
+
+   Stage semantics (each evaluated proposal lands in exactly one, by
+   construction of the evaluator's disposition counters):
+   - proposed: the operator emitted this candidate;
+   - evaluated: the candidate was committed (early stop discards the rest);
+   - screened: rejected before simulation (compile / static / oversize /
+     race screens);
+   - pruned: served without a fresh simulation (memo hit, semantic twin,
+     provably-dead edit);
+   - simulated: a fresh simulation was paid for it;
+   - survived: carried forward by elitism (one bump per candidate per
+     generation survived);
+   - in_lineage: the candidate appears in the winner's genealogy.
+
+   Summed over operators, evaluated = run_end.evals, simulated =
+   run_end.probes, screened = compile_errors + static_rejects +
+   oversize_rejects + racy_rejects, and pruned = memo_hits +
+   semantic_hits + dead_edit_skips — the reconciliation the funnel test
+   checks. (Under [check_pruning] the lanes simulate anyway, so a single
+   candidate may count in both pruned and simulated; the per-counter sums
+   above still hold.) *)
+
+type funnel_row = {
+  mutable f_proposed : int;
+  mutable f_evaluated : int;
+  mutable f_screened : int;
+  mutable f_pruned : int;
+  mutable f_simulated : int;
+  mutable f_survived : int;
+  mutable f_lineage : int;
+}
+
+type funnel = {
+  tbl : (string, funnel_row) Hashtbl.t;
+  mutable snap_lookups : int;
+  mutable snap_probes : int;
+  mutable snap_screened : int;
+  mutable snap_pruned : int;
+}
+
+let funnel_get (f : funnel) (op : string) : funnel_row =
+  match Hashtbl.find_opt f.tbl op with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          f_proposed = 0;
+          f_evaluated = 0;
+          f_screened = 0;
+          f_pruned = 0;
+          f_simulated = 0;
+          f_survived = 0;
+          f_lineage = 0;
+        }
+      in
+      Hashtbl.add f.tbl op r;
+      r
+
+let funnel_screened (ev : Evaluate.t) =
+  ev.compile_errors + ev.static_rejects + ev.oversize_rejects + ev.racy_rejects
+
+let funnel_pruned (ev : Evaluate.t) =
+  Evaluate.memo_hits ev + ev.semantic_hits + ev.dead_edit_skips
+
+(* Remember the evaluator counters; the next [funnel_charge] attributes
+   whatever they advanced by to one operator row. *)
+let funnel_snap (f : funnel) (ev : Evaluate.t) : unit =
+  f.snap_lookups <- ev.lookups;
+  f.snap_probes <- ev.probes;
+  f.snap_screened <- funnel_screened ev;
+  f.snap_pruned <- funnel_pruned ev
+
+(* Charge the counter movement since the last snapshot to [op], then
+   re-snapshot. Deltas are 0/1 per commit; the "setup" and "minimize"
+   rows charge whole evaluation phases in one aggregate step. *)
+let funnel_charge (f : funnel) (ev : Evaluate.t) (op : string) : unit =
+  let r = funnel_get f op in
+  r.f_evaluated <- r.f_evaluated + (ev.lookups - f.snap_lookups);
+  r.f_simulated <- r.f_simulated + (ev.probes - f.snap_probes);
+  r.f_screened <- r.f_screened + (funnel_screened ev - f.snap_screened);
+  r.f_pruned <- r.f_pruned + (funnel_pruned ev - f.snap_pruned);
+  funnel_snap f ev
+
+let funnel_rows (f : funnel) : (string * funnel_row) list =
+  Hashtbl.fold (fun op r acc -> (op, r) :: acc) f.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let funnel_total (f : funnel) (field : funnel_row -> int) : int =
+  Hashtbl.fold (fun _ r acc -> acc + field r) f.tbl 0
+
+let journal_funnel (f : funnel) : unit =
+  let operators =
+    funnel_rows f
+    |> List.map (fun (op, r) ->
+           Obs.Json.Obj
+             [
+               ("op", Obs.Json.Str op);
+               ("proposed", Obs.Json.Int r.f_proposed);
+               ("evaluated", Obs.Json.Int r.f_evaluated);
+               ("screened", Obs.Json.Int r.f_screened);
+               ("pruned", Obs.Json.Int r.f_pruned);
+               ("simulated", Obs.Json.Int r.f_simulated);
+               ("survived", Obs.Json.Int r.f_survived);
+               ("in_lineage", Obs.Json.Int r.f_lineage);
+             ])
+  in
+  Obs.Journal.emit
+    [
+      ("type", Obs.Json.Str "funnel"); ("operators", Obs.Json.List operators);
     ]
 
 (* --- Journal records ------------------------------------------------------ *)
@@ -304,15 +424,17 @@ let journal_localization (original : Verilog.Ast.module_decl)
       ("source", Obs.Json.List source);
     ]
 
-(* Terminal record: emitted last, with no wall-clock field, so `tail -f`
-   consumers can detect completion and the record stays byte-identical
-   across [jobs]. *)
-let journal_run_end (ev : Evaluate.t) ~(status : string)
+(* Terminal record: emitted last so `tail -f` consumers can detect
+   completion. [elapsed_s] is the run's wall time — a documented timing
+   field, excluded (like the generation records') from the cross-[jobs]
+   byte-equality contract; everything else stays byte-identical. *)
+let journal_run_end (ev : Evaluate.t) ~(status : string) ~(elapsed : float)
     (extra : (string * Obs.Json.t) list) : unit =
   Obs.Journal.emit
     ([
        ("type", Obs.Json.Str "run_end");
        ("status", Obs.Json.Str status);
+       ("elapsed_s", Obs.Json.Float elapsed);
        ("evals", Obs.Json.Int ev.lookups);
        ("probes", Obs.Json.Int ev.probes);
        ("memo_hits", Obs.Json.Int (Evaluate.memo_hits ev));
@@ -441,9 +563,32 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   in
   (* Lineage is journal-only state: the hashing it needs is paid only when
      a journal is open (the same rule [journal_generation]'s diversity
-     count follows). *)
+     count follows). The funnel follows the same gate: it is observable
+     only through the journal, so it is tracked only while one is open. *)
   let lineage : (string, lineage_node) Hashtbl.t = Hashtbl.create 64 in
   let hash_of_mod = Verilog.Ast_utils.structural_hash in
+  let track = Obs.Journal.enabled () in
+  let funnel =
+    {
+      tbl = Hashtbl.create 16;
+      snap_lookups = 0;
+      snap_probes = 0;
+      snap_screened = 0;
+      snap_pruned = 0;
+    }
+  in
+  (* Evaluator work that predates funnel tracking (a slice probe that fell
+     back to the whole design leaves counters on [ev]) lands on a "setup"
+     accounting row, so funnel sums still tile the run_end counters. *)
+  if track && ev.lookups > 0 then begin
+    let r = funnel_get funnel "setup" in
+    r.f_proposed <- ev.lookups;
+    funnel_charge funnel ev "setup"
+  end
+  else funnel_snap funnel ev;
+  (* Operator of each population slot, parallel to [popn]; used to credit
+     elitism survival to the operator that made the survivor. *)
+  let popn_ops = ref (Array.make (max cfg.pop_size 1) "seed") in
   if Obs.Journal.enabled () then
     Obs.Journal.emit
       ([
@@ -459,6 +604,11 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
 
   let initial = { patch = []; outcome = Evaluate.eval_patch ev original [] } in
+  if track then begin
+    let r = funnel_get funnel "seed" in
+    r.f_proposed <- r.f_proposed + 1;
+    funnel_charge funnel ev "seed"
+  end;
   let found =
     ref
       (if initial.outcome.fitness >= 1.0 && stitched_ok initial.patch then
@@ -529,6 +679,10 @@ let repair ?(on_generation : (generation_stats -> unit) option)
       List.iter
         (fun tagged ->
           incr child_count;
+          if track then begin
+            let r = funnel_get funnel (snd tagged).p_op in
+            r.f_proposed <- r.f_proposed + 1
+          end;
           proposals := tagged :: !proposals)
         children
     done;
@@ -546,16 +700,19 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     let prepared = Evaluate.prepare ev ~pool mods in
     let t_select = if Obs.Trace.enabled () then Obs.Trace.begin_ () else 0 in
     let child_popn = ref [] in
+    let child_ops = ref [] in
     Array.iteri
       (fun i patch ->
         if !found = None && not (out_of_resources ()) then (
           incr mutants;
           let c = { patch; outcome = Evaluate.commit prepared i } in
+          if track then funnel_charge funnel ev (snd tagged_batch.(i)).p_op;
           if Obs.Journal.enabled () then
             record_lineage lineage ~hash:(hash_of_mod mods.(i))
               ~prov:(snd tagged_batch.(i)) ~gen:!gen ~fitness:c.outcome.fitness;
           if c.outcome.fitness >= 1.0 && stitched_ok c.patch then
             found := Some c;
+          child_ops := (snd tagged_batch.(i)).p_op :: !child_ops;
           child_popn := c :: !child_popn))
       batch;
     if Obs.Trace.enabled () then
@@ -572,8 +729,33 @@ let repair ?(on_generation : (generation_stats -> unit) option)
         | c -> c)
       sorted;
     let elites = Array.to_list (Array.sub sorted 0 (min elite_n (Array.length sorted))) in
+    (* Credit each survivor's operator. Elites are physical members of the
+       previous population, so an identity scan recovers each one's slot
+       (and thus its operator) without re-sorting or rehashing. *)
+    let elite_ops =
+      if not track then []
+      else
+        List.map
+          (fun e ->
+            let op = ref "seed" in
+            (try
+               Array.iteri
+                 (fun i c -> if c == e then (op := (!popn_ops).(i); raise Exit))
+                 !popn
+             with Exit -> ());
+            let r = funnel_get funnel !op in
+            r.f_survived <- r.f_survived + 1;
+            !op)
+          elites
+    in
     let next = Array.of_list (elites @ !child_popn) in
-    if Array.length next > 0 then popn := next;
+    if Array.length next > 0 then begin
+      popn := next;
+      if track then
+        (* [child_popn] is consed (reverse batch order); [child_ops] is
+           consed identically, so the two lists stay slot-aligned. *)
+        popn_ops := Array.of_list (elite_ops @ !child_ops)
+    end;
     let fits = Array.to_list (Array.map (fun c -> c.outcome.fitness) !popn) in
     let stats =
       {
@@ -625,6 +807,14 @@ let repair ?(on_generation : (generation_stats -> unit) option)
   in
   if !found <> None && Obs.Trace.enabled () then
     Obs.Trace.complete ~cat:"gp" ~name:"gp.minimize" t_min;
+  (* ddmin probes (non-slice mode: they run on [ev]) land on a "minimize"
+     accounting row so the funnel still tiles the run_end counters. *)
+  if track && ev.lookups > funnel.snap_lookups then begin
+    let d = ev.lookups - funnel.snap_lookups in
+    funnel_charge funnel ev "minimize";
+    let r = funnel_get funnel "minimize" in
+    r.f_proposed <- r.f_proposed + d
+  end;
   if Obs.Journal.enabled () then begin
     (* Genealogy of the winner — or, when the search came up empty, of the
        best surviving candidate, which is what a user debugs next. *)
@@ -641,7 +831,15 @@ let repair ?(on_generation : (generation_stats -> unit) option)
     in
     (match focus with
     | Some c ->
-        journal_lineage lineage ~winner:(hash_of_mod (Patch.apply original c.patch))
+        let winner = hash_of_mod (Patch.apply original c.patch) in
+        let nodes = genealogy lineage winner in
+        if track then
+          List.iter
+            (fun ((_ : string), n) ->
+              let r = funnel_get funnel n.l_op in
+              r.f_lineage <- r.f_lineage + 1)
+            nodes;
+        journal_lineage ~winner nodes
     | None -> ());
     Obs.Journal.emit
       [
@@ -662,11 +860,17 @@ let repair ?(on_generation : (generation_stats -> unit) option)
         ("mutants", Obs.Json.Int !mutants);
         ("wall_seconds", Obs.Json.Float (Unix.gettimeofday () -. t0));
       ];
+    journal_funnel funnel;
     journal_run_end ev
       ~status:(if !found <> None then "repaired" else "no_repair")
+      ~elapsed:(Unix.gettimeofday () -. t0)
       ([
          ("generations", Obs.Json.Int !gen);
          ("mutants", Obs.Json.Int !mutants);
+         ("proposed", Obs.Json.Int (funnel_total funnel (fun r -> r.f_proposed)));
+         ("survived", Obs.Json.Int (funnel_total funnel (fun r -> r.f_survived)));
+         ( "in_lineage",
+           Obs.Json.Int (funnel_total funnel (fun r -> r.f_lineage)) );
        ]
       @
       if cfg.slice then

@@ -1,0 +1,225 @@
+(* Fault-tolerant multi-journal aggregation: the reader side of
+   `cirfix campaign`. A campaign writes one journal per job plus an
+   append-only manifest; jobs can be killed mid-record, journals can be
+   missing entirely, and a corpus reader has to shrug all of that off and
+   still produce the repair-rate matrix. So every parse here is lenient
+   (skip and count, never fail), and every merge treats absent records as
+   zero rather than as an error. *)
+
+type funnel_row = {
+  fu_proposed : int;
+  fu_evaluated : int;
+  fu_screened : int;
+  fu_pruned : int;
+  fu_simulated : int;
+  fu_survived : int;
+  fu_lineage : int;
+}
+
+type run = {
+  r_problem : string;
+  r_engine : string;
+  r_seed : int;
+  r_status : string;
+  r_evals : int;
+  r_probes : int;
+  r_memo_hits : int;
+  r_elapsed_s : float;
+  r_trajectory : (int * float) list;
+  r_funnel : (string * funnel_row) list;
+  r_complete : bool;
+  r_skipped_lines : int;
+}
+
+type job = {
+  j_scenario : int;
+  j_project : string;
+  j_category : int;
+  j_seed : int;
+  j_status : string;
+  j_correct : bool;
+  j_edits : int option;
+  j_probes : int;
+  j_wall_s : float;
+  j_journal : string;
+}
+
+type scenario_stats = {
+  sc_id : int;
+  sc_project : string;
+  sc_jobs : int;
+  sc_repaired : int;
+  sc_correct : int;
+  sc_errors : int;
+  sc_mean_wall : float;
+  sc_mean_probes : float;
+  sc_cells : job list;
+}
+
+(* Unlike {!Report.parse_journal} (single-run explainer: mid-file garbage
+   is a user-facing error), the corpus reader skips every unparseable
+   line and only counts them — one poisoned journal must not take down a
+   300-run aggregation. *)
+let parse_lenient (contents : string) : Json.t list * int =
+  String.split_on_char '\n' contents
+  |> List.fold_left
+       (fun (acc, skipped) line ->
+         if String.trim line = "" then (acc, skipped)
+         else
+           match Json.parse line with
+           | Ok r -> (r :: acc, skipped)
+           | Error _ -> (acc, skipped + 1))
+       ([], 0)
+  |> fun (acc, skipped) -> (List.rev acc, skipped)
+
+let load_file (path : string) : string option =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* --- Single-run digest ---------------------------------------------------- *)
+
+let funnel_of_record (r : Json.t) : (string * funnel_row) list =
+  Report.list_of "operators" r
+  |> List.map (fun o ->
+         ( Report.s_of "op" o,
+           {
+             fu_proposed = Report.i_of "proposed" o;
+             fu_evaluated = Report.i_of "evaluated" o;
+             fu_screened = Report.i_of "screened" o;
+             fu_pruned = Report.i_of "pruned" o;
+             fu_simulated = Report.i_of "simulated" o;
+             fu_survived = Report.i_of "survived" o;
+             fu_lineage = Report.i_of "in_lineage" o;
+           } ))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run_of_records (records : Json.t list) (skipped : int) : run =
+  let run_rec = Report.first_of_type "run" records in
+  let end_rec = Report.last_of_type "run_end" records in
+  let get f d = match run_rec with Some r -> f r | None -> d in
+  let gete f d = match end_rec with Some r -> f r | None -> d in
+  {
+    r_problem = get (Report.s_of "problem") "";
+    r_engine = get (Report.s_of "engine") "";
+    r_seed = get (Report.i_of "seed") 0;
+    r_status = gete (Report.s_of "status") "";
+    r_evals = gete (Report.i_of "evals") 0;
+    r_probes = gete (Report.i_of "probes") 0;
+    r_memo_hits = gete (Report.i_of "memo_hits") 0;
+    r_elapsed_s = gete (Report.fl_of "elapsed_s") 0.;
+    r_trajectory =
+      Report.of_type "generation" records
+      |> List.map (fun g -> (Report.i_of "gen" g, Report.fl_of "best" g))
+      |> List.sort compare;
+    r_funnel =
+      (match Report.last_of_type "funnel" records with
+      | None -> []
+      | Some f -> funnel_of_record f);
+    r_complete = end_rec <> None;
+    r_skipped_lines = skipped;
+  }
+
+(* --- Manifest ------------------------------------------------------------- *)
+
+let jobs_of_manifest (records : Json.t list) : job list =
+  Report.of_type "job" records
+  |> List.map (fun r ->
+         {
+           j_scenario = Report.i_of "scenario" r;
+           j_project = Report.s_of "project" r;
+           j_category = Report.i_of "category" r;
+           j_seed = Report.i_of "seed" r;
+           j_status = Report.s_of "status" r;
+           j_correct =
+             (match Json.member "correct" r with
+             | Some (Json.Bool b) -> b
+             | _ -> false);
+           j_edits =
+             (match Json.member "edits" r with
+             | Some (Json.Int i) -> Some i
+             | _ -> None);
+           j_probes = Report.i_of "probes" r;
+           j_wall_s = Report.fl_of "wall_s" r;
+           j_journal = Report.s_of "journal" r;
+         })
+
+let seeds (jobs : job list) : int list =
+  List.map (fun j -> j.j_seed) jobs
+  |> List.sort_uniq compare
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let by_scenario (jobs : job list) : scenario_stats list =
+  let ids =
+    List.map (fun j -> j.j_scenario) jobs |> List.sort_uniq compare
+  in
+  List.map
+    (fun id ->
+      let cells =
+        List.filter (fun j -> j.j_scenario = id) jobs
+        |> List.sort (fun a b -> compare a.j_seed b.j_seed)
+      in
+      let count p = List.length (List.filter p cells) in
+      {
+        sc_id = id;
+        sc_project =
+          (match cells with j :: _ -> j.j_project | [] -> "");
+        sc_jobs = List.length cells;
+        sc_repaired = count (fun j -> j.j_status = "repaired");
+        sc_correct = count (fun j -> j.j_correct);
+        sc_errors = count (fun j -> j.j_status = "error");
+        sc_mean_wall = mean (List.map (fun j -> j.j_wall_s) cells);
+        sc_mean_probes =
+          mean (List.map (fun j -> float_of_int j.j_probes) cells);
+        sc_cells = cells;
+      })
+    ids
+
+let rate p jobs =
+  match jobs with
+  | [] -> 0.
+  | _ ->
+      float_of_int (List.length (List.filter p jobs))
+      /. float_of_int (List.length jobs)
+
+let repair_rate = rate (fun j -> j.j_status = "repaired")
+let correct_rate = rate (fun j -> j.j_correct)
+
+(* --- Corpus funnel -------------------------------------------------------- *)
+
+let merge_funnels (runs : run list) : (string * funnel_row) list =
+  let tbl : (string, funnel_row) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (op, f) ->
+          let acc =
+            match Hashtbl.find_opt tbl op with
+            | Some a -> a
+            | None ->
+                {
+                  fu_proposed = 0;
+                  fu_evaluated = 0;
+                  fu_screened = 0;
+                  fu_pruned = 0;
+                  fu_simulated = 0;
+                  fu_survived = 0;
+                  fu_lineage = 0;
+                }
+          in
+          Hashtbl.replace tbl op
+            {
+              fu_proposed = acc.fu_proposed + f.fu_proposed;
+              fu_evaluated = acc.fu_evaluated + f.fu_evaluated;
+              fu_screened = acc.fu_screened + f.fu_screened;
+              fu_pruned = acc.fu_pruned + f.fu_pruned;
+              fu_simulated = acc.fu_simulated + f.fu_simulated;
+              fu_survived = acc.fu_survived + f.fu_survived;
+              fu_lineage = acc.fu_lineage + f.fu_lineage;
+            })
+        r.r_funnel)
+    runs;
+  Hashtbl.fold (fun op f acc -> (op, f) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

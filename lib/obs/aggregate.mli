@@ -1,0 +1,93 @@
+(** Fault-tolerant multi-journal aggregation.
+
+    `cirfix campaign` leaves behind one journal per corpus job plus an
+    append-only manifest JSONL; this module reads them back — tolerating
+    the half-written lines killed runs leave — and merges the
+    run / generation / run_end / attribution / funnel records into
+    corpus-level statistics: the repair-rate matrix (scenario x seed),
+    per-scenario cost, and the corpus-wide operator/template funnel.
+    Everything here is pure over parsed bytes except {!load_file}; the
+    dashboard renders from these values deterministically. *)
+
+(** One operator's row of the search funnel (see DESIGN.md: stages
+    proposed -> screened/pruned -> simulated -> survived -> in-lineage). *)
+type funnel_row = {
+  fu_proposed : int;
+  fu_evaluated : int;
+  fu_screened : int;
+  fu_pruned : int;
+  fu_simulated : int;
+  fu_survived : int;
+  fu_lineage : int;
+}
+
+(** Digest of a single run's journal. *)
+type run = {
+  r_problem : string;
+  r_engine : string;
+  r_seed : int;
+  r_status : string;  (** run_end status, or [""] when the journal was cut *)
+  r_evals : int;
+  r_probes : int;
+  r_memo_hits : int;
+  r_elapsed_s : float;  (** run_end wall time; 0 when absent *)
+  r_trajectory : (int * float) list;  (** (gen, best fitness), ascending *)
+  r_funnel : (string * funnel_row) list;  (** sorted by operator *)
+  r_complete : bool;  (** a run_end record was present *)
+  r_skipped_lines : int;  (** unparseable journal lines dropped *)
+}
+
+(** One manifest job line. *)
+type job = {
+  j_scenario : int;
+  j_project : string;
+  j_category : int;
+  j_seed : int;
+  j_status : string;  (** "repaired" | "no_repair" | "error" *)
+  j_correct : bool;
+  j_edits : int option;
+  j_probes : int;
+  j_wall_s : float;
+  j_journal : string;  (** journal path, relative to the manifest *)
+}
+
+(** Per-scenario aggregate over the manifest (one matrix row). *)
+type scenario_stats = {
+  sc_id : int;
+  sc_project : string;
+  sc_jobs : int;
+  sc_repaired : int;
+  sc_correct : int;
+  sc_errors : int;
+  sc_mean_wall : float;
+  sc_mean_probes : float;
+  sc_cells : job list;  (** seed ascending *)
+}
+
+(** Parse JSONL, skipping (and counting) every unparseable line — a
+    killed run truncates its final record; a corpus reader must not let
+    one bad journal poison the aggregate. Returns (records, skipped). *)
+val parse_lenient : string -> Json.t list * int
+
+val run_of_records : Json.t list -> int -> run
+(** [run_of_records records skipped] digests one journal's records. *)
+
+val load_file : string -> string option
+(** File contents, or [None] when unreadable (missing journal). *)
+
+val jobs_of_manifest : Json.t list -> job list
+(** The manifest's job records, in file (completion) order. *)
+
+val seeds : job list -> int list
+(** All seeds present, ascending. *)
+
+val by_scenario : job list -> scenario_stats list
+(** Matrix rows, scenario id ascending; cells seed ascending. *)
+
+val repair_rate : job list -> float
+(** Repaired jobs over all jobs, in [0, 1]; 0 on an empty list. *)
+
+val correct_rate : job list -> float
+
+val merge_funnels : run list -> (string * funnel_row) list
+(** Corpus-wide funnel: per-operator sums across runs, sorted by op. *)

@@ -1,0 +1,267 @@
+(* Campaign dashboard: one self-contained HTML page over a campaign's
+   manifest and per-job journals. All rendering goes through the
+   {!Report} building blocks (fixed float formats, deterministic SVG), so
+   the page is a pure function of the input bytes — the golden test pins
+   it. Timing columns (wall seconds) ARE rendered here, unlike the
+   single-run report: a campaign page is built from recorded artifacts,
+   not re-rendered across [jobs], so determinism is per-input, not
+   per-rerun. *)
+
+open Report
+
+(* Categorical palette for per-scenario trajectory series. *)
+let palette =
+  [|
+    "#2166ac"; "#b2182b"; "#5aae61"; "#fdae61"; "#762a83"; "#1b7837";
+    "#d6604d"; "#4393c3"; "#e08214"; "#542788"; "#c51b7d"; "#35978f";
+  |]
+
+let dash_style =
+  {|td.c{text-align:center;font-weight:bold}
+td.c-ok{background:#d7f0d7;color:#1a7f37}
+td.c-plaus{background:#fff3cd;color:#8a6d00}
+td.c-fail{background:#f8d7da;color:#b2182b}
+td.c-err{background:#e2e3e5;color:#555}
+td.c-none{color:#bbb;text-align:center}|}
+
+(* --- Heat matrix ---------------------------------------------------------- *)
+
+let cell_markup (j : Aggregate.job option) : string =
+  match j with
+  | None -> "<td class=\"c-none\">&mdash;</td>"
+  | Some j -> (
+      match j.Aggregate.j_status with
+      | "repaired" when j.Aggregate.j_correct ->
+          "<td class=\"c c-ok\" title=\"repaired, correct\">&#10003;</td>"
+      | "repaired" ->
+          "<td class=\"c c-plaus\" title=\"plausible repair\">&#10003;?</td>"
+      | "no_repair" ->
+          "<td class=\"c c-fail\" title=\"no repair\">&#10007;</td>"
+      | _ -> "<td class=\"c c-err\" title=\"job error\">!</td>")
+
+let render_matrix (jobs : Aggregate.job list) : string =
+  if jobs = [] then missing "job (manifest)"
+  else
+    let seeds = Aggregate.seeds jobs in
+    let rows = Aggregate.by_scenario jobs in
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "<table>\n<tr><th>scenario</th>";
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (Printf.sprintf "<th>seed %d</th>" s))
+      seeds;
+    Buffer.add_string buf
+      "<th>repair rate</th><th>mean wall (s)</th><th>mean probes</th></tr>\n";
+    List.iter
+      (fun (r : Aggregate.scenario_stats) ->
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>%d &middot; %s</td>" r.sc_id
+             (html_escape r.sc_project));
+        List.iter
+          (fun seed ->
+            let j =
+              List.find_opt
+                (fun (j : Aggregate.job) -> j.j_seed = seed)
+                r.sc_cells
+            in
+            Buffer.add_string buf (cell_markup j))
+          seeds;
+        Buffer.add_string buf
+          (Printf.sprintf "<td>%s</td><td>%s</td><td>%s</td></tr>\n"
+             (if r.sc_jobs = 0 then "&mdash;"
+              else
+                f2
+                  (100. *. float_of_int r.sc_repaired
+                  /. float_of_int r.sc_jobs)
+                ^ "%")
+             (f2 r.sc_mean_wall)
+             (f2 r.sc_mean_probes)))
+      rows;
+    Buffer.add_string buf "</table>\n";
+    Buffer.contents buf
+
+(* --- Overlaid fitness trajectories ---------------------------------------- *)
+
+(* One curve per scenario: the lowest-seed job that has a digested
+   journal with generation records. Overlaying every seed of every
+   scenario would be unreadable at 32 x N; the lowest seed is a stable,
+   deterministic pick. *)
+let render_trajectories (jobs : Aggregate.job list)
+    (runs : (string * Aggregate.run) list) : string =
+  let series =
+    Aggregate.by_scenario jobs
+    |> List.filter_map (fun (r : Aggregate.scenario_stats) ->
+           r.sc_cells
+           |> List.find_map (fun (j : Aggregate.job) ->
+                  match List.assoc_opt j.j_journal runs with
+                  | Some run when run.Aggregate.r_trajectory <> [] ->
+                      Some (r, run.Aggregate.r_trajectory)
+                  | _ -> None))
+  in
+  if series = [] then missing "generation (no journals with generations)"
+  else
+    let x_max =
+      List.fold_left
+        (fun m (_, t) ->
+          List.fold_left (fun m (g, _) -> Float.max m (float_of_int g)) m t)
+        1. series
+    in
+    svg_chart ~x_label:"generation" ~x_min:0. ~x_max ~y_max:1.0
+      (List.mapi
+         (fun i ((r : Aggregate.scenario_stats), traj) ->
+           {
+             s_label = Printf.sprintf "%d %s" r.sc_id r.sc_project;
+             s_color = palette.(i mod Array.length palette);
+             s_points =
+               List.map (fun (g, b) -> (float_of_int g, b)) traj;
+           })
+         series)
+
+(* --- Corpus funnel -------------------------------------------------------- *)
+
+let render_funnel (runs : (string * Aggregate.run) list) : string =
+  let merged = Aggregate.merge_funnels (List.map snd runs) in
+  if merged = [] then missing "funnel"
+  else
+    let pct n d =
+      if d = 0 then "&mdash;"
+      else f2 (100. *. float_of_int n /. float_of_int d) ^ "%"
+    in
+    table
+      [
+        "operator";
+        "proposed";
+        "evaluated";
+        "screened";
+        "pruned";
+        "simulated";
+        "survived";
+        "in lineage";
+        "lineage rate";
+      ]
+      (List.map
+         (fun ((op : string), (f : Aggregate.funnel_row)) ->
+           [
+             html_escape op;
+             string_of_int f.fu_proposed;
+             string_of_int f.fu_evaluated;
+             string_of_int f.fu_screened;
+             string_of_int f.fu_pruned;
+             string_of_int f.fu_simulated;
+             string_of_int f.fu_survived;
+             string_of_int f.fu_lineage;
+             pct f.fu_lineage f.fu_evaluated;
+           ])
+         merged)
+
+(* --- Page ----------------------------------------------------------------- *)
+
+let render ~(manifest : Json.t list)
+    ~(runs : (string * Aggregate.run) list) : string =
+  let jobs = Aggregate.jobs_of_manifest manifest in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  Buffer.add_string buf "<meta charset=\"utf-8\">\n";
+  Buffer.add_string buf "<title>cirfix campaign dashboard</title>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<style>%s\n%s</style>\n</head>\n<body>\n" style
+       dash_style);
+  Buffer.add_string buf "<h1>cirfix campaign dashboard</h1>\n";
+  let scenarios = List.length (Aggregate.by_scenario jobs) in
+  let truncated =
+    List.length
+      (List.filter
+         (fun (_, r) ->
+           (not r.Aggregate.r_complete) || r.Aggregate.r_skipped_lines > 0)
+         runs)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p><b>%d</b> jobs over <b>%d</b> scenario(s) &times; <b>%d</b> \
+        seed(s): repair rate <b>%s%%</b>, correct-by-validation rate \
+        <b>%s%%</b>, %d error(s), %d journal(s) truncated or \
+        incomplete.</p>\n"
+       (List.length jobs) scenarios
+       (List.length (Aggregate.seeds jobs))
+       (f2 (100. *. Aggregate.repair_rate jobs))
+       (f2 (100. *. Aggregate.correct_rate jobs))
+       (List.length
+          (List.filter (fun (j : Aggregate.job) -> j.j_status = "error") jobs))
+       truncated);
+  let section title body =
+    Buffer.add_string buf
+      (Printf.sprintf "<section>\n<h2>%s</h2>\n%s</section>\n"
+         (html_escape title) body)
+  in
+  section "Repair-rate matrix" (render_matrix jobs);
+  section "Fitness trajectories (lowest seed per scenario)"
+    (render_trajectories jobs runs);
+  section "Operator funnel (corpus-wide)" (render_funnel runs);
+  Buffer.add_string buf "</body>\n</html>\n";
+  Buffer.contents buf
+
+(* --- Machine-readable tables ---------------------------------------------- *)
+
+let csv_escape (s : string) : string =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let table_csv (manifest : Json.t list) : string =
+  let jobs = Aggregate.jobs_of_manifest manifest in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "scenario,project,seed,status,correct,edits,probes,wall_s,journal\n";
+  List.iter
+    (fun (j : Aggregate.job) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%s,%b,%s,%d,%.4f,%s\n" j.j_scenario
+           (csv_escape j.j_project) j.j_seed (csv_escape j.j_status)
+           j.j_correct
+           (match j.j_edits with None -> "" | Some e -> string_of_int e)
+           j.j_probes j.j_wall_s (csv_escape j.j_journal)))
+    jobs;
+  Buffer.contents buf
+
+let table_json (manifest : Json.t list) : string =
+  let jobs = Aggregate.jobs_of_manifest manifest in
+  let job_row (j : Aggregate.job) =
+    Json.Obj
+      [
+        ("scenario", Json.Int j.j_scenario);
+        ("project", Json.Str j.j_project);
+        ("seed", Json.Int j.j_seed);
+        ("status", Json.Str j.j_status);
+        ("correct", Json.Bool j.j_correct);
+        ( "edits",
+          match j.j_edits with None -> Json.Null | Some e -> Json.Int e );
+        ("probes", Json.Int j.j_probes);
+        ("wall_s", Json.Float j.j_wall_s);
+        ("journal", Json.Str j.j_journal);
+      ]
+  in
+  let scenario_row (r : Aggregate.scenario_stats) =
+    Json.Obj
+      [
+        ("id", Json.Int r.sc_id);
+        ("project", Json.Str r.sc_project);
+        ("jobs", Json.Int r.sc_jobs);
+        ("repaired", Json.Int r.sc_repaired);
+        ("correct", Json.Int r.sc_correct);
+        ( "repair_rate",
+          Json.Float
+            (if r.sc_jobs = 0 then 0.
+             else float_of_int r.sc_repaired /. float_of_int r.sc_jobs) );
+        ("mean_wall_seconds", Json.Float r.sc_mean_wall);
+        ("mean_probes", Json.Float r.sc_mean_probes);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("repair_rate", Json.Float (Aggregate.repair_rate jobs));
+         ("correct_rate", Json.Float (Aggregate.correct_rate jobs));
+         ( "scenarios",
+           Json.List (List.map scenario_row (Aggregate.by_scenario jobs)) );
+         ("jobs", Json.List (List.map job_row jobs));
+       ])

@@ -1,0 +1,26 @@
+(** Multi-run campaign dashboard.
+
+    Renders the aggregate of a campaign — manifest plus per-job journals
+    (see {!Aggregate}) — as one deterministic, self-contained HTML page:
+    the repair-rate heat matrix (scenario x seed, with per-scenario cost
+    columns), overlaid per-scenario fitness trajectories, and the
+    corpus-wide operator funnel. Reuses the {!Report} building blocks;
+    identical input bytes produce identical page bytes (golden-pinned).
+
+    Machine-readable views of the same aggregate: {!table_csv} and
+    {!table_json}, one row per manifest job. *)
+
+val render :
+  manifest:Json.t list ->
+  runs:(string * Aggregate.run) list ->
+  string
+(** [render ~manifest ~runs] is the HTML page. [runs] maps a job's
+    manifest-relative journal path to its digested journal; jobs whose
+    journal is missing or unreadable simply have no entry. *)
+
+val table_csv : Json.t list -> string
+(** One CSV row per manifest job:
+    [scenario,project,seed,status,correct,edits,probes,wall_s,journal]. *)
+
+val table_json : Json.t list -> string
+(** JSON object: per-job rows plus per-scenario and corpus rates. *)

@@ -5,19 +5,39 @@
    deterministic, the journal is byte-identical across parallelism
    degrees (the PR 2 determinism contract extended to observability).
 
-   Like the other sinks this is process-global and off by default; call
-   sites must branch on [enabled] so a disabled journal costs one boolean
-   load. *)
+   Two scopes of sink coexist:
+
+   - the process-global sink ([open_file]/[close]), used by the CLI's
+     --journal flag: one repair, one journal; and
+   - a domain-local sink ([with_file]), used by `cirfix campaign` to give
+     each corpus job its own journal while jobs run concurrently on the
+     domain pool. A domain-local sink shadows the global one for records
+     emitted on that domain, so concurrent jobs never interleave.
+
+   Like the other sinks this is off by default; call sites must branch on
+   [enabled] so a disabled journal costs a boolean load plus a
+   domain-local lookup. *)
 
 type sink = { oc : Out_channel.t; m : Mutex.t; mutable records : int }
 
 let sink : sink option ref = ref None
 let enabled_flag = ref false
-let enabled () = !enabled_flag
+
+(* Domain-local shadow sink. Each domain sees its own cell; the cell
+   holds [None] unless a [with_file] scope is active on that domain. *)
+let local_sink : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local () = Domain.DLS.get local_sink
+let enabled () = !enabled_flag || !(local ()) <> None
+
+let current () : sink option =
+  match !(local ()) with Some _ as s -> s | None -> !sink
 
 (* Idempotent: a second close (or a close with no sink open) is a no-op,
    so the [at_exit] safety net below composes with explicit closes on the
-   normal path. *)
+   normal path. Only touches the process-global sink; domain-local sinks
+   are closed by their [with_file] scope. *)
 let close () =
   (match !sink with
   | None -> ()
@@ -44,9 +64,30 @@ let open_file (path : string) : unit =
     Some { oc = Out_channel.open_text path; m = Mutex.create (); records = 0 };
   enabled_flag := true
 
-(* Append one record and flush (so `tail -f` sees it immediately). *)
+(* Run [f] with a journal sink bound to the calling domain. Nested scopes
+   restore the outer sink; the channel is flushed and closed even when
+   [f] raises (the partial journal survives — readers tolerate a
+   truncated final line). *)
+let with_file (path : string) (f : unit -> 'a) : 'a =
+  let cell = local () in
+  let outer = !cell in
+  let s =
+    { oc = Out_channel.open_text path; m = Mutex.create (); records = 0 }
+  in
+  cell := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      cell := outer;
+      Mutex.lock s.m;
+      Out_channel.flush s.oc;
+      Out_channel.close s.oc;
+      Mutex.unlock s.m)
+    f
+
+(* Append one record to the current sink (domain-local if a [with_file]
+   scope is active, global otherwise) and flush. *)
 let emit (fields : (string * Json.t) list) : unit =
-  match !sink with
+  match current () with
   | None -> ()
   | Some s ->
       let line = Json.to_string (Json.Obj fields) in
@@ -57,4 +98,4 @@ let emit (fields : (string * Json.t) list) : unit =
       s.records <- s.records + 1;
       Mutex.unlock s.m
 
-let records () : int = match !sink with None -> 0 | Some s -> s.records
+let records () : int = match current () with None -> 0 | Some s -> s.records

@@ -306,6 +306,45 @@ let render_diversity (records : Json.t list) : string =
         };
       ]
 
+(* Search funnel: the per-operator [funnel] record — how many candidates
+   each operator proposed, how far each batch made it through screening,
+   simulation, elitism, and the winner's lineage. *)
+let render_funnel (records : Json.t list) : string =
+  match last_of_type "funnel" records with
+  | None -> missing "funnel"
+  | Some f ->
+      let ops = list_of "operators" f in
+      let pct n d =
+        if d = 0 then "&mdash;"
+        else f2 (100. *. float_of_int n /. float_of_int d) ^ "%"
+      in
+      table
+        [
+          "operator";
+          "proposed";
+          "evaluated";
+          "screened";
+          "pruned";
+          "simulated";
+          "survived";
+          "in lineage";
+          "sim rate";
+        ]
+        (List.map
+           (fun o ->
+             [
+               html_escape (s_of "op" o);
+               string_of_int (i_of "proposed" o);
+               string_of_int (i_of "evaluated" o);
+               string_of_int (i_of "screened" o);
+               string_of_int (i_of "pruned" o);
+               string_of_int (i_of "simulated" o);
+               string_of_int (i_of "survived" o);
+               string_of_int (i_of "in_lineage" o);
+               pct (i_of "simulated" o) (i_of "evaluated" o);
+             ])
+           ops)
+
 (* Where the evaluation budget went: the terminal [run_end] totals. *)
 let render_rejects (records : Json.t list) : string =
   match last_of_type "run_end" records with
@@ -811,6 +850,7 @@ let render ?(metrics : Json.t option) (records : Json.t list) : string =
   section buf "Fitness" (render_fitness records);
   section buf "Diversity" (render_diversity records);
   section buf "Evaluation breakdown" (render_rejects records);
+  section buf "Search funnel" (render_funnel records);
   section buf "Static pruning" (render_pruning records);
   section buf "Semantic slicing" (render_slicing records);
   section buf "Per-signal attribution" (render_attribution records);
@@ -821,8 +861,11 @@ let render ?(metrics : Json.t option) (records : Json.t list) : string =
   Buffer.add_string buf "</body>\n</html>\n";
   Buffer.contents buf
 
-(* Parse a JSONL journal into records, skipping blank lines; returns an
-   error naming the first unparseable line. *)
+(* Parse a JSONL journal into records, skipping blank lines. A journal is
+   flushed per record, so a killed run leaves at most one half-written
+   record — and only at the end of the file; an unparseable FINAL line is
+   therefore dropped (crash resilience) while mid-file garbage is still an
+   error naming the line. *)
 let parse_journal (contents : string) : (Json.t list, string) result =
   let lines = String.split_on_char '\n' contents in
   let rec go acc lineno = function
@@ -832,6 +875,11 @@ let parse_journal (contents : string) : (Json.t list, string) result =
         else (
           match Json.parse line with
           | Ok r -> go (r :: acc) (lineno + 1) rest
-          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+          | Error e ->
+              (* A line the writer newline-terminated was fully written, so
+                 garbage there is a real error; only an unterminated final
+                 fragment is a truncated record from a killed run. *)
+              if rest = [] then Ok (List.rev acc)
+              else Error (Printf.sprintf "line %d: %s" lineno e))
   in
   go [] 1 lines

@@ -16,6 +16,55 @@
 (** [render ?metrics records] is the complete HTML document. *)
 val render : ?metrics:Json.t -> Json.t list -> string
 
-(** Parse JSONL [contents] into records, skipping blank lines. [Error]
-    names the first unparseable line. *)
+(** Parse JSONL [contents] into records, skipping blank lines. An
+    unparseable, {e unterminated} final fragment — the half-written
+    record a killed run leaves behind — is silently dropped (the journal
+    flushes per record, so truncation can only hit the tail); [Error]
+    names the first unparseable newline-terminated line. *)
 val parse_journal : string -> (Json.t list, string) result
+
+(** {1 Building blocks}
+
+    The rendering primitives the multi-run dashboard ({!Dashboard})
+    reuses: HTML escaping, the fixed float formats every deterministic
+    page goes through, record field accessors, the SVG line chart, and
+    the shared stylesheet. *)
+
+val html_escape : string -> string
+
+val f2 : float -> string
+(** Two-decimal fixed format; never use [string_of_float] in a page. *)
+
+val f4 : float -> string
+
+val typ : Json.t -> string
+(** The record's ["type"] field, or [""]. *)
+
+val s_of : string -> Json.t -> string
+val i_of : string -> Json.t -> int
+val fl_of : string -> Json.t -> float
+val list_of : string -> Json.t -> Json.t list
+val of_type : string -> Json.t list -> Json.t list
+val first_of_type : string -> Json.t list -> Json.t option
+val last_of_type : string -> Json.t list -> Json.t option
+
+type series = {
+  s_label : string;
+  s_color : string;
+  s_points : (float * float) list; (* data coordinates, ascending x *)
+}
+
+(** Fixed-geometry 640x240 line chart; all coordinates %.2f-formatted. *)
+val svg_chart :
+  x_label:string ->
+  x_min:float ->
+  x_max:float ->
+  y_max:float ->
+  series list ->
+  string
+
+val table : string list -> string list list -> string
+val missing : string -> string
+
+val style : string
+(** The shared stylesheet (report and dashboard pages). *)

@@ -153,14 +153,18 @@ let journal_of_repair ~jobs =
   close_in ic;
   Sys.remove path;
   s
+
+(* Blank out the documented timing fields, the only jobs-dependent bytes. *)
+let strip_walls s =
+  s
   |> Str.global_replace (Str.regexp "\"elapsed_s\":[0-9.eE+-]+") "\"elapsed_s\":X"
   |> Str.global_replace
        (Str.regexp "\"wall_seconds\":[0-9.eE+-]+")
        "\"wall_seconds\":X"
 
 let test_journal_determinism () =
-  let j1 = journal_of_repair ~jobs:1 in
-  let j4 = journal_of_repair ~jobs:4 in
+  let j1 = strip_walls (journal_of_repair ~jobs:1) in
+  let j4 = strip_walls (journal_of_repair ~jobs:4) in
   Alcotest.(check bool) "journal has records" true (String.length j1 > 0);
   Alcotest.(check string) "journal identical for jobs=1 and jobs=4" j1 j4;
   (* The explainability records ride the same determinism contract; make
@@ -173,7 +177,103 @@ let test_journal_determinism () =
            ignore (Str.search_forward (Str.regexp_string needle) j1 0);
            true
          with Not_found -> false))
-    [ "attribution"; "localization"; "lineage"; "run_end" ]
+    [ "attribution"; "localization"; "lineage"; "funnel"; "run_end" ]
+
+(* Digest a journal string into its last funnel record (per-operator rows)
+   and last run_end record. *)
+let funnel_and_end journal =
+  let records, skipped = Aggregate.parse_lenient journal in
+  Alcotest.(check int) "no skipped lines in a clean journal" 0 skipped;
+  let funnel =
+    find_exn "funnel record" (Report.last_of_type "funnel" records)
+  in
+  let run_end =
+    find_exn "run_end record" (Report.last_of_type "run_end" records)
+  in
+  (Aggregate.run_of_records records skipped, funnel, run_end)
+
+(* The whole-journal byte compare above already implies this, but pin the
+   per-operator counts explicitly: the funnel is the record most tempting
+   to compute from parallel (commit-order-dependent) state. *)
+let test_funnel_determinism () =
+  let digest j =
+    let run, _, _ = funnel_and_end j in
+    run.Aggregate.r_funnel
+  in
+  let f1 = digest (journal_of_repair ~jobs:1) in
+  let f4 = digest (journal_of_repair ~jobs:4) in
+  Alcotest.(check bool) "funnel has operator rows" true (List.length f1 > 0);
+  Alcotest.(check (list string))
+    "same operators for jobs=1 and jobs=4" (List.map fst f1) (List.map fst f4);
+  List.iter2
+    (fun (op, (a : Aggregate.funnel_row)) ((_, b) : string * Aggregate.funnel_row) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "counts for %s match across jobs" op)
+        [
+          a.fu_proposed; a.fu_evaluated; a.fu_screened; a.fu_pruned;
+          a.fu_simulated; a.fu_survived; a.fu_lineage;
+        ]
+        [
+          b.fu_proposed; b.fu_evaluated; b.fu_screened; b.fu_pruned;
+          b.fu_simulated; b.fu_survived; b.fu_lineage;
+        ])
+    f1 f4
+
+(* Funnel totals must tile the run_end counters exactly: every evaluator
+   outcome is charged to exactly one operator row, so the per-stage sums
+   reconcile with the run-wide counts (no double counting, no leaks). *)
+let test_funnel_reconciliation () =
+  let run, funnel, run_end = funnel_and_end (journal_of_repair ~jobs:1) in
+  let ops = Report.list_of "operators" funnel in
+  let total f = List.fold_left (fun acc o -> acc + Report.i_of f o) 0 ops in
+  let e f = Report.i_of f run_end in
+  Alcotest.(check int) "evaluated tiles evals" (e "evals") (total "evaluated");
+  Alcotest.(check int) "simulated tiles probes" (e "probes")
+    (total "simulated");
+  Alcotest.(check int) "screened tiles reject counters"
+    (e "compile_errors" + e "static_rejects" + e "oversize_rejects"
+   + e "racy_rejects")
+    (total "screened");
+  Alcotest.(check int) "pruned tiles memo+semantic+dead"
+    (e "memo_hits" + e "semantic_hits" + e "dead_edit_skips")
+    (total "pruned");
+  (* The run_end convenience totals are the same sums. *)
+  Alcotest.(check int) "proposed total" (e "proposed") (total "proposed");
+  Alcotest.(check int) "survived total" (e "survived") (total "survived");
+  Alcotest.(check int) "in_lineage total" (e "in_lineage")
+    (total "in_lineage");
+  Alcotest.(check bool) "digest saw a complete run" true
+    run.Aggregate.r_complete
+
+(* Crash resilience: a journal whose writer died mid-record must still
+   load. The single-run reader accepts a truncated FINAL line (and only
+   that); the corpus reader skips and counts every bad line. *)
+let test_truncated_journal () =
+  let good =
+    {|{"type":"run","engine":"gp","problem":"p","seed":1,"pop_size":2,"max_generations":1,"max_probes":9,"phi":2.0,"screen_mutants":true,"screen_races":false,"check_races":false,"prune":true,"check_pruning":false,"backend":"auto","slice":false}
+{"type":"generation","gen":1,"best":0.5,"median":0.5,"mean":0.5,"worst":0.0,"diversity":1,"population":2,"mutants":2,"probes":2,"lookups":2,"memo_hits":0,"compile_errors":0,"static_rejects":0,"oversize_rejects":0,"racy_rejects":0,"semantic_hits":0,"dead_edit_skips":0,"elapsed_s":0.1}
+|}
+  in
+  let truncated = good ^ {|{"type":"run_end","status":"repai|} in
+  (match Report.parse_journal truncated with
+  | Ok records ->
+      Alcotest.(check int) "truncated final line is dropped" 2
+        (List.length records)
+  | Error e -> Alcotest.failf "parse_journal rejected truncated tail: %s" e);
+  (* Mid-file garbage is a hard error for the single-run reader... *)
+  (match Report.parse_journal (truncated ^ "\n" ^ good) with
+  | Ok _ -> Alcotest.fail "parse_journal accepted mid-file garbage"
+  | Error _ -> ());
+  (* ...but the corpus reader just counts it and keeps going. *)
+  let records, skipped = Aggregate.parse_lenient (truncated ^ "\n" ^ good) in
+  Alcotest.(check int) "lenient parse skips the bad line" 1 skipped;
+  Alcotest.(check int) "lenient parse keeps the good lines" 4
+    (List.length records);
+  let run = Aggregate.run_of_records records skipped in
+  Alcotest.(check bool) "digest records the skip" true
+    (run.Aggregate.r_skipped_lines = 1);
+  Alcotest.(check int) "trajectory survives" 2
+    (List.length run.Aggregate.r_trajectory)
 
 let () =
   Alcotest.run "obs"
@@ -191,6 +291,16 @@ let () =
         [ Alcotest.test_case "escaping round-trip" `Quick
             test_json_escaping_roundtrip ] );
       ( "journal",
-        [ Alcotest.test_case "jobs-independent" `Slow test_journal_determinism ]
-      );
+        [
+          Alcotest.test_case "jobs-independent" `Slow test_journal_determinism;
+          Alcotest.test_case "truncated tail tolerated" `Quick
+            test_truncated_journal;
+        ] );
+      ( "funnel",
+        [
+          Alcotest.test_case "jobs-independent counts" `Slow
+            test_funnel_determinism;
+          Alcotest.test_case "totals reconcile with run_end" `Slow
+            test_funnel_reconciliation;
+        ] );
     ]
